@@ -1,0 +1,39 @@
+"""Benchmark harness support.
+
+Every experiment benchmark times one quick-scale run of its experiment and
+writes the rendered result table to ``benchmarks/output/<id>.md`` — these
+files are the reproduction's stand-ins for the paper's tables and figures
+(see EXPERIMENTS.md).  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    def _save(result) -> None:
+        path = report_dir / f"{result.experiment_id}.md"
+        path.write_text(result.render() + "\n")
+
+    return _save
+
+
+def run_experiment_benchmark(benchmark, save_report, runner, scale="quick"):
+    """Time one run of an experiment, persist its table, assert its checks."""
+    result = benchmark.pedantic(runner, args=(scale,), rounds=1, iterations=1)
+    save_report(result)
+    failed = [c.description for c in result.checks if not c.passed]
+    assert not failed, f"{result.experiment_id}: {failed}"
+    return result

@@ -1,0 +1,13 @@
+"""A1 — ablation: LRU/EDF capacity split.
+
+Regenerates the a1 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.ablations import run_a1
+
+from conftest import run_experiment_benchmark
+
+
+def test_a1_share_split(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_a1)

@@ -1,0 +1,13 @@
+"""A2 — ablation: replication on/off.
+
+Regenerates the a2 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.ablations import run_a2
+
+from conftest import run_experiment_benchmark
+
+
+def test_a2_replication(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_a2)

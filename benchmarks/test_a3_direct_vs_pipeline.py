@@ -1,0 +1,13 @@
+"""A3 — ablation: VarBatch overhead.
+
+Regenerates the a3 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.ablations import run_a3
+
+from conftest import run_experiment_benchmark
+
+
+def test_a3_direct_vs_pipeline(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_a3)

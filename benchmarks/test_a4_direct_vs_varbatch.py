@@ -1,0 +1,13 @@
+"""A4 — ablation: VarBatch pipeline vs the direct unbatched heuristic.
+
+Regenerates the A4 result table (written to benchmarks/output/) and times
+one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.ablations import run_a4
+
+from conftest import run_experiment_benchmark
+
+
+def test_a4_direct_vs_varbatch(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_a4)

@@ -1,0 +1,13 @@
+"""A5 — extension: per-color drop costs, weight-aware vs weight-blind.
+
+Regenerates the A5 result table (written to benchmarks/output/) and times
+one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.ablations import run_a5
+
+from conftest import run_experiment_benchmark
+
+
+def test_a5_weighted(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_a5)

@@ -1,0 +1,13 @@
+"""E1 — DeltaLRU vs the Appendix A adversary (ratio grows with j).
+
+Regenerates the e01 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.adversarial import run_e1
+
+from conftest import run_experiment_benchmark
+
+
+def test_e01_dlru_lower_bound(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e1)

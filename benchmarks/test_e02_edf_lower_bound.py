@@ -1,0 +1,13 @@
+"""E2 — EDF vs the Appendix B adversary (ratio grows with k-j).
+
+Regenerates the e02 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.adversarial import run_e2
+
+from conftest import run_experiment_benchmark
+
+
+def test_e02_edf_lower_bound(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e2)

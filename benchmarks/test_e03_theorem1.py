@@ -1,0 +1,13 @@
+"""E3 — Theorem 1: DeltaLRU-EDF vs exact OPT on rate-limited batched input.
+
+Regenerates the e03 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.theorems import run_e3
+
+from conftest import run_experiment_benchmark
+
+
+def test_e03_theorem1(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e3)

@@ -1,0 +1,13 @@
+"""E4 — DeltaLRU-EDF survives both adversaries.
+
+Regenerates the e04 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.adversarial import run_e4
+
+from conftest import run_experiment_benchmark
+
+
+def test_e04_combination(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e4)

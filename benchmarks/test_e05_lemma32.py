@@ -1,0 +1,13 @@
+"""E5 — Lemma 3.2: eligible drop cost vs offline drop cost.
+
+Regenerates the e05 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.lemmas import run_e5
+
+from conftest import run_experiment_benchmark
+
+
+def test_e05_lemma32(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e5)

@@ -1,0 +1,13 @@
+"""E6 — Lemmas 3.3/3.4: epoch-amortized bounds.
+
+Regenerates the e06 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.lemmas import run_e6
+
+from conftest import run_experiment_benchmark
+
+
+def test_e06_epoch_bounds(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e6)

@@ -1,0 +1,13 @@
+"""E7 — Lemma 3.10 / Corollary 3.1 drop-cost chain.
+
+Regenerates the e07 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.lemmas import run_e7
+
+from conftest import run_experiment_benchmark
+
+
+def test_e07_drop_chain(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e7)

@@ -1,0 +1,13 @@
+"""E8 — Theorem 2: Distribute on batched input.
+
+Regenerates the e08 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.theorems import run_e8
+
+from conftest import run_experiment_benchmark
+
+
+def test_e08_theorem2(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e8)

@@ -1,0 +1,13 @@
+"""E9 — Theorem 3: VarBatch pipeline on general input.
+
+Regenerates the e09 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.theorems import run_e9
+
+from conftest import run_experiment_benchmark
+
+
+def test_e09_theorem3(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e9)

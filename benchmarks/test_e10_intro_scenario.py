@@ -1,0 +1,13 @@
+"""E10 — intro scenario: thrashing vs underutilization.
+
+Regenerates the e10 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.scenario import run_e10
+
+from conftest import run_experiment_benchmark
+
+
+def test_e10_intro_scenario(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e10)

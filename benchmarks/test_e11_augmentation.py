@@ -1,0 +1,13 @@
+"""E11 — ratio vs resource augmentation.
+
+Regenerates the e11 result table (written to benchmarks/output/)
+and times one quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.theorems import run_e11
+
+from conftest import run_experiment_benchmark
+
+
+def test_e11_augmentation(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e11)

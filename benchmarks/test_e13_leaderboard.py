@@ -1,0 +1,13 @@
+"""E13 — total-cost leaderboard across workload families.
+
+Regenerates the result table (written to benchmarks/output/) and times one
+quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.panorama import run_e13
+
+from conftest import run_experiment_benchmark
+
+
+def test_e13_leaderboard(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e13)

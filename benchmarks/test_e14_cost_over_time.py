@@ -1,0 +1,13 @@
+"""E14 — cumulative online cost vs offline floor over time.
+
+Regenerates the result table (written to benchmarks/output/) and times one
+quick-scale run.  See DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.panorama import run_e14
+
+from conftest import run_experiment_benchmark
+
+
+def test_e14_cost_over_time(benchmark, save_report):
+    run_experiment_benchmark(benchmark, save_report, run_e14)

@@ -1,0 +1,49 @@
+"""Scaling series: how the engine's cost grows along each axis.
+
+Three parameterized series (horizon, colors, resources) — the pytest-
+benchmark table doubles as the scaling figure: within a series, near-linear
+growth in the horizon axis and sublinear growth in the others is the
+expected shape.
+"""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.workloads.generators import rate_limited_workload
+
+
+@pytest.mark.parametrize("horizon", [256, 1024, 4096])
+def test_scaling_horizon(benchmark, horizon):
+    instance = rate_limited_workload(
+        num_colors=8, horizon=horizon, delta=4, seed=0
+    )
+    benchmark(
+        lambda: simulate(
+            instance, DeltaLRUEDFPolicy(4), n=16, record_events=False
+        ).total_cost
+    )
+
+
+@pytest.mark.parametrize("colors", [4, 16, 64])
+def test_scaling_colors(benchmark, colors):
+    instance = rate_limited_workload(
+        num_colors=colors, horizon=512, delta=4, seed=0
+    )
+    benchmark(
+        lambda: simulate(
+            instance, DeltaLRUEDFPolicy(4), n=16, record_events=False
+        ).total_cost
+    )
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_scaling_resources(benchmark, n):
+    instance = rate_limited_workload(
+        num_colors=16, horizon=512, delta=4, seed=0
+    )
+    benchmark(
+        lambda: simulate(
+            instance, DeltaLRUEDFPolicy(4), n=n, record_events=False
+        ).total_cost
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The appendix adversaries, head to head.
+
+Reproduces both lower-bound constructions (Appendix A defeats DeltaLRU,
+Appendix B defeats EDF) and shows DeltaLRU-EDF surviving both — the paper's
+central motivation for combining the two principles.
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro.analysis.reporting import Table
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.dlru import DeltaLRUPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import EDFPolicy
+from repro.workloads import (
+    anti_dlru_instance,
+    anti_dlru_offline_schedule,
+    anti_edf_instance,
+    anti_edf_offline_schedule,
+)
+
+N = 4
+
+
+def run_family(title, make_instance, make_offline, params):
+    table = Table(
+        ["params", "offline", "dlru", "edf", "dlru-edf",
+         "dlru ratio", "edf ratio", "dlru-edf ratio"],
+        title=title,
+    )
+    for label, instance in params:
+        offline = validate_schedule(
+            make_offline(instance), instance.sequence, instance.delta
+        )
+        costs = {}
+        for name, policy in (
+            ("dlru", DeltaLRUPolicy(instance.delta)),
+            ("edf", EDFPolicy(instance.delta)),
+            ("dlru-edf", DeltaLRUEDFPolicy(instance.delta)),
+        ):
+            run = simulate(instance, policy, n=N, record_events=False)
+            costs[name] = run.total_cost
+        off = offline.total_cost
+        table.add_row(
+            label, off, costs["dlru"], costs["edf"], costs["dlru-edf"],
+            costs["dlru"] / off, costs["edf"] / off, costs["dlru-edf"] / off,
+        )
+    print(table.render())
+    print()
+
+
+def main() -> None:
+    print("Appendix A family: short-term colors mask a huge long-term backlog.")
+    print("DeltaLRU keeps the recently-stamped short colors and starves the")
+    print("long color; its ratio grows with j while DeltaLRU-EDF stays flat.\n")
+    run_family(
+        "anti-DeltaLRU (n=4, Delta=1, k=j+2)",
+        anti_dlru_instance,
+        anti_dlru_offline_schedule,
+        [
+            (f"j={j}", anti_dlru_instance(n=N, j=j, k=j + 2, delta=1))
+            for j in (3, 5, 7)
+        ],
+    )
+
+    print("Appendix B family: a short-bound color alternates idle/nonidle,")
+    print("baiting EDF into reconfiguring the long-bound colors over and")
+    print("over; its ratio grows with k while DeltaLRU-EDF stays flat.\n")
+    run_family(
+        "anti-EDF (n=4, Delta=5, j=3)",
+        anti_edf_instance,
+        anti_edf_offline_schedule,
+        [
+            (f"k={k}", anti_edf_instance(n=N, j=3, k=k, delta=5))
+            for k in (5, 7, 9)
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

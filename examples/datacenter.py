@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Shared data center scenario (Section 1's first motivating application).
+
+Services with per-service delay SLOs see demand shares that drift over
+time, so the hot set of services keeps changing.  We compare the paper's
+policies and the baselines on the same trace and sweep the resource count
+for the winner.
+
+Run:  python examples/datacenter.py
+"""
+
+from repro.analysis.compare import compare_policies, standard_policy_set
+from repro.analysis.reporting import Table
+from repro.reductions.pipeline import solve_online
+from repro.workloads import datacenter_workload
+
+N = 16
+DELTA = 8
+
+
+def main() -> None:
+    # More services than processors: no static allocation can cover the
+    # drifting hot set, which is exactly the regime the paper targets.
+    instance = datacenter_workload(
+        num_services=24, horizon=2048, delta=DELTA, seed=3, total_rate=10.0
+    )
+    print(f"{instance.name}: {instance.sequence.num_jobs} jobs over "
+          f"{instance.horizon} rounds, {N} processors, Delta={DELTA}\n")
+
+    comparison = compare_policies(
+        instance, standard_policy_set(DELTA), n=N, include_pipeline=True
+    )
+    print(comparison.table(title="policy comparison").render())
+    print(f"\ncheapest on this trace: {comparison.best()}")
+    print(
+        "\nnote: the Section-3 policies assume batched arrivals (their\n"
+        "counters only advance at multiples of D_l), so on this raw trace\n"
+        "they underperform — the pipeline exists precisely to batch the\n"
+        "input for them.  Competitive analysis guards the worst case; on\n"
+        "benign average-case traces a heuristic like classic LRU can win\n"
+        "(see examples/adversarial_analysis.py for where it collapses)."
+    )
+
+    sweep = Table(["processors", "total cost", "completion"],
+                  title="pipeline cost vs processor count")
+    for n in (8, 16, 24, 32):
+        res = solve_online(instance, n=n, record_events=False)
+        executed = len(res.schedule.executed_uids())
+        sweep.add_row(n, res.total_cost,
+                      f"{executed / instance.sequence.num_jobs:.1%}")
+    print()
+    print(sweep.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The debugging workflow: verify, narrate, persist.
+
+What to do when a run looks wrong: (1) `verify_run` re-derives everything
+checkable; (2) `narrate` replays the rounds phase by phase; (3) schedules
+and instances serialize to JSON so the exact case travels in a bug report.
+
+Run:  python examples/debugging_workflow.py
+"""
+
+import tempfile
+
+from repro.analysis.verify import verify_run
+from repro.core.debug import narrate
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.workloads import save_instance
+
+
+def main() -> None:
+    # A small instance where the eligibility gate visibly bites: color 9
+    # has only 2 jobs (< Delta) and is deliberately never served.
+    jobs = (
+        [Job(color=0, arrival=r, delay_bound=2) for r in (0, 0, 2, 2)]
+        + [Job(color=1, arrival=0, delay_bound=4) for _ in range(5)]
+        + [Job(color=9, arrival=0, delay_bound=4) for _ in range(2)]
+    )
+    instance = Instance(RequestSequence(jobs), delta=3, name="debug-demo")
+    run = simulate(instance, DeltaLRUEDFPolicy(3), n=4)
+
+    print("--- step 1: one-call verification ---")
+    report = verify_run(run)
+    print(report.render())
+    print(f"cost: {run.ledger.summary()}\n")
+
+    print("--- step 2: narrate the rounds ---")
+    print(narrate(run))
+
+    print("\n--- step 3: persist the case ---")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
+        inst_path = fh.name
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
+        sched_path = fh.name
+    save_instance(instance, inst_path)
+    open(sched_path, "w").write(run.schedule.to_json())
+    print(f"instance -> {inst_path}")
+    print(f"schedule -> {sched_path}")
+
+    # Anyone can reload both and re-check the exact same run:
+    restored = Schedule.from_json(open(sched_path).read())
+    led = validate_schedule(restored, instance.sequence, instance.delta)
+    print(f"reloaded schedule revalidates: total cost {led.total_cost} "
+          f"(matches: {led.total_cost == run.total_cost})")
+
+    print(
+        "\nwhy 4 drops?  color 9 has 2 jobs < Delta=3, so the eligibility "
+        "gate never\nadmits it (Lemma 3.1: dropping 2 beats a Delta=3 "
+        "reconfiguration); and color 0's\nfirst batch (round 0) dropped "
+        "while the color was still earning eligibility —\nexactly the "
+        "ineligible drops Lemma 3.4 charges to the epoch (at most\n"
+        "numEpochs * Delta of them).  The narration shows both: arrivals "
+        "with no\nmatching configuration, then color 0 configured at round "
+        "2 once its counter wraps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Flash crowd: a sudden sustained surge on one service.
+
+The data-center motivation in one picture: traffic on one service jumps
+~20x for a stretch, and the scheduler must reallocate processors to it
+quickly, then give them back.  We run the full pipeline, render the
+timeline around the surge (watch the surge color flood the resource grid),
+and break costs down per service.
+
+Run:  python examples/flash_crowd.py
+"""
+
+from repro.analysis.attribution import attribution_table
+from repro.analysis.series import cost_series, sparkline
+from repro.analysis.timeline import render_timeline
+from repro.reductions.pipeline import solve_online
+from repro.workloads import flash_crowd_workload
+
+N = 12
+
+
+def main() -> None:
+    instance = flash_crowd_workload(
+        num_colors=6, horizon=512, delta=4, seed=5,
+        base_rate=0.2, surge_rate=4.0, surge_start=0.3, surge_length=0.2,
+    )
+    begin, end = instance.metadata["surge_window"]
+    surge_color = instance.metadata["surge_color"]
+    print(f"{instance.name}: {instance.sequence.num_jobs} jobs, surge on "
+          f"service {surge_color} during rounds [{begin}, {end})\n")
+
+    result = solve_online(instance, n=N)
+
+    window = (begin - 16, begin + 64)
+    print(f"timeline around the surge (rounds [{window[0]}, {window[1]})):")
+    print(render_timeline(result.schedule, instance.sequence, *window,
+                          max_width=80))
+
+    series = cost_series(result.ledger, instance.horizon)
+    print(f"\ncumulative cost: {sparkline(series.total, width=64)}")
+    print(f"  (total {result.total_cost}: {result.reconfig_cost} reconfig "
+          f"+ {result.drop_cost} drops)")
+
+    print()
+    print(attribution_table(result.schedule, instance,
+                            title="per-service costs").render())
+    print(
+        "\nreading: the surge service tops the bill — it grabs most of the "
+        "machine\nduring the surge (reconfiguration spend) yet serves nearly "
+        "everything, at the\nlowest cost per served job; the steady services "
+        "pay the usual trickle."
+    )
+
+
+if __name__ == "__main__":
+    main()

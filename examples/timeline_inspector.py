@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Visualizing thrashing vs underutilization on the actual schedules.
+
+Renders ASCII timelines (resources × rounds; uppercase = executing,
+lowercase = configured but idle, '.' = unconfigured) of three policies on
+the Appendix B adversary.  EDF's grid shows the thrashing as dense vertical
+color changes; DeltaLRU's shows underutilization as long idle runs;
+DeltaLRU-EDF shows neither.
+
+Run:  python examples/timeline_inspector.py
+"""
+
+from repro.analysis.timeline import render_timeline, timeline_stats
+from repro.core.simulator import simulate
+from repro.policies.dlru import DeltaLRUPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import EDFPolicy
+from repro.workloads import anti_edf_instance
+
+N = 4
+WINDOW = (0, 96)
+
+
+def main() -> None:
+    instance = anti_edf_instance(n=N, j=3, k=6, delta=5)
+    print(f"{instance.name}: {instance.sequence.num_jobs} jobs over "
+          f"{instance.horizon} rounds; showing rounds "
+          f"[{WINDOW[0]}, {WINDOW[1]})\n")
+
+    for name, policy in (
+        ("EDF (thrashes)", EDFPolicy(instance.delta)),
+        ("DeltaLRU (underutilizes)", DeltaLRUPolicy(instance.delta)),
+        ("DeltaLRU-EDF (neither)", DeltaLRUEDFPolicy(instance.delta)),
+    ):
+        run = simulate(instance, policy, n=N)
+        stats = timeline_stats(run.schedule, instance.sequence)
+        print(f"--- {name}: total cost {run.total_cost} "
+              f"(reconfig {run.reconfig_cost}, drops {run.drop_cost}); "
+              f"whole-run utilization {stats.utilization:.1%} ---")
+        print(render_timeline(run.schedule, instance.sequence, *WINDOW))
+        print()
+
+
+if __name__ == "__main__":
+    main()

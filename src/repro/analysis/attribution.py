@@ -1,0 +1,109 @@
+"""Per-color cost attribution.
+
+Answers "which categories are expensive to serve, and why" for a finished
+run: reconfiguration spend, drop spend, service rate and cost-per-served-job
+broken down by color.  Feeds capacity-planning style decisions (the shared
+data center of the introduction allocates processors per service; this is
+the report an operator of that system would read).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.reporting import Table
+from repro.core.job import Color, color_sort_key
+from repro.core.request import Instance
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ColorCosts:
+    """Cost attribution for one color."""
+
+    color: Color
+    delay_bound: int
+    jobs: int
+    served: int
+    dropped: int
+    reconfig_cost: float
+    drop_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.reconfig_cost + self.drop_cost
+
+    @property
+    def service_rate(self) -> float:
+        return self.served / self.jobs if self.jobs else 1.0
+
+    @property
+    def cost_per_served(self) -> float:
+        return self.total_cost / self.served if self.served else float("inf")
+
+
+def attribute_costs(
+    schedule: Schedule,
+    instance: Instance,
+) -> list[ColorCosts]:
+    """Break a schedule's cost down per color (sorted by falling cost)."""
+    sequence = instance.sequence
+    delta = instance.delta
+    bounds = sequence.delay_bounds()
+
+    jobs_per_color: Counter = Counter()
+    for job in sequence.jobs():
+        jobs_per_color[job.color] += 1
+
+    executed = schedule.executed_uids()
+    served: Counter = Counter()
+    dropped: Counter = Counter()
+    for job in sequence.jobs():
+        if job.uid in executed:
+            served[job.color] += 1
+        else:
+            dropped[job.color] += 1
+
+    reconfigs: Counter = Counter()
+    for rc in schedule.reconfigs:
+        if rc.new_color is not None:
+            reconfigs[rc.new_color] += 1
+
+    out = []
+    for color in sorted(jobs_per_color, key=color_sort_key):
+        out.append(ColorCosts(
+            color=color,
+            delay_bound=bounds[color],
+            jobs=jobs_per_color[color],
+            served=served[color],
+            dropped=dropped[color],
+            reconfig_cost=reconfigs[color] * delta,
+            drop_cost=float(dropped[color]),
+        ))
+    out.sort(key=lambda cc: (-cc.total_cost, color_sort_key(cc.color)))
+    return out
+
+
+def attribution_table(
+    schedule: Schedule,
+    instance: Instance,
+    title: str = "per-color cost attribution",
+    top: int | None = None,
+) -> Table:
+    """Render the attribution as a table (most expensive colors first)."""
+    rows = attribute_costs(schedule, instance)
+    if top is not None:
+        rows = rows[:top]
+    table = Table(
+        ["color", "bound", "jobs", "served", "dropped",
+         "reconfig cost", "drop cost", "total", "cost/served"],
+        title=title,
+    )
+    for cc in rows:
+        table.add_row(
+            repr(cc.color), cc.delay_bound, cc.jobs, cc.served, cc.dropped,
+            cc.reconfig_cost, cc.drop_cost, cc.total_cost,
+            cc.cost_per_served,
+        )
+    return table

@@ -1,0 +1,151 @@
+"""Epoch and super-epoch accounting (Sections 3.2 and 3.4).
+
+An *epoch* of a color ends the moment the color becomes ineligible; the
+number of epochs drives the amortized bounds:
+
+- Lemma 3.3: ``ReconfigCost <= 4 * numEpochs * Delta``;
+- Lemma 3.4: ``IneligibleDropCost <= numEpochs * Delta``.
+
+A *super-epoch* ends the moment at least ``2m`` colors have increased their
+timestamps since it started (``2m = n/4``).  Lemma 3.15 / Corollary 3.2
+bound the number of epochs per color overlapping one super-epoch by three;
+Lemma 3.16 bounds special epochs per color by three.  :func:`super_epochs`
+recovers the super-epoch partition from a policy's wrap-event history, and
+:func:`epoch_report` packages everything the lemma-check experiments need.
+
+Timestamp update events: the timestamp of ``l`` changes exactly when a
+multiple of ``D_l`` passes after a fresh counter-wrap, i.e. a wrap at round
+``w`` produces a timestamp update at round ``w + D_l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.job import Color
+from repro.policies.state import SectionThreeState
+
+
+@dataclass
+class EpochReport:
+    """Epoch statistics of one run of a Section-3 policy."""
+
+    delta: int
+    num_epochs: int
+    ineligible_drops: int
+    reconfig_count: int
+    reconfig_cost: int
+
+    @property
+    def lemma_33_bound(self) -> int:
+        """Lemma 3.3 right-hand side."""
+        return 4 * self.num_epochs * self.delta
+
+    @property
+    def lemma_33_holds(self) -> bool:
+        return self.reconfig_cost <= self.lemma_33_bound
+
+    @property
+    def lemma_34_bound(self) -> int:
+        """Lemma 3.4 right-hand side."""
+        return self.num_epochs * self.delta
+
+    @property
+    def lemma_34_holds(self) -> bool:
+        return self.ineligible_drops <= self.lemma_34_bound
+
+
+def epoch_report(state: SectionThreeState, reconfig_count: int) -> EpochReport:
+    """Build the lemma-check report from a policy's state after a run."""
+    return EpochReport(
+        delta=state.delta,
+        num_epochs=state.num_epochs,
+        ineligible_drops=state.total_ineligible_drops,
+        reconfig_count=reconfig_count,
+        reconfig_cost=reconfig_count * state.delta,
+    )
+
+
+@dataclass
+class SuperEpoch:
+    """One super-epoch: start round, end round (exclusive), active colors."""
+
+    index: int
+    start: int
+    end: int | None
+    active_colors: set[Color] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+
+def super_epochs(
+    state: SectionThreeState,
+    m: int,
+    horizon: int,
+) -> list[SuperEpoch]:
+    """Partition a run into super-epochs from the wrap-event history.
+
+    Requires the policy to have been constructed with ``track_history=True``.
+    A super-epoch ends the moment at least ``2m`` colors have had a
+    *timestamp update event* (a wrap maturing one delay bound later) since
+    its start.
+    """
+    if not state.track_history:
+        raise ValueError("super_epochs needs a state built with track_history=True")
+
+    # Timestamp update events: wrap at w for color l matures at w + D_l.
+    updates: list[tuple[int, Color]] = []
+    for rnd, color in state.wrap_events:
+        mature = rnd + state.states[color].delay_bound
+        if mature < horizon:
+            updates.append((mature, color))
+    updates.sort(key=lambda item: item[0])
+
+    epochs: list[SuperEpoch] = []
+    current = SuperEpoch(index=0, start=0, end=None)
+    for mature, color in updates:
+        current.active_colors.add(color)
+        if len(current.active_colors) >= 2 * m:
+            current.end = mature
+            epochs.append(current)
+            current = SuperEpoch(index=current.index + 1, start=mature, end=None)
+    epochs.append(current)  # the (possibly incomplete) last super-epoch
+    return epochs
+
+
+def max_epoch_overlap(
+    state: SectionThreeState,
+    m: int,
+    horizon: int,
+) -> int:
+    """Corollary 3.2's quantity: the maximum, over colors and super-epochs,
+    of the number of that color's epochs overlapping that super-epoch.
+
+    The paper bounds this by three.  Requires ``track_history=True`` (both
+    wrap histories and epoch end rounds are needed).  Epoch ``j`` of a color
+    spans ``(end_{j-1}, end_j]`` with ``end_{-1} = -1``; the live final
+    epoch spans ``(end_last, horizon)``.
+    """
+    supers = super_epochs(state, m, horizon)
+    worst = 0
+    for st in state.states.values():
+        if st.epoch_ends is None:
+            raise ValueError("max_epoch_overlap needs track_history=True")
+        if not st.seen and not st.epoch_ends:
+            continue
+        ends = list(st.epoch_ends)
+        spans = []
+        start = -1
+        for end in ends:
+            spans.append((start, end))
+            start = end
+        spans.append((start, horizon))  # the live final epoch
+        for se in supers:
+            se_end = se.end if se.end is not None else horizon
+            overlap = sum(
+                1 for a, b in spans if a < se_end and b > se.start
+            )
+            worst = max(worst, overlap)
+    return worst

@@ -1,0 +1,73 @@
+"""Derived statistics of a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.request import Instance
+from repro.core.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary statistics of one run."""
+
+    name: str
+    n: int
+    total_jobs: int
+    executed: int
+    dropped: int
+    reconfig_count: int
+    reconfig_cost: int
+    drop_cost: int
+    total_cost: int
+    horizon: int
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of jobs executed within their delay bound."""
+        return self.executed / self.total_jobs if self.total_jobs else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Executions per resource-round."""
+        slots = self.n * self.horizon
+        return self.executed / slots if slots else 0.0
+
+    @property
+    def reconfig_rate(self) -> float:
+        """Reconfigurations per round (thrashing indicator)."""
+        return self.reconfig_count / self.horizon if self.horizon else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "jobs": self.total_jobs,
+            "executed": self.executed,
+            "dropped": self.dropped,
+            "reconfig_count": self.reconfig_count,
+            "reconfig_cost": self.reconfig_cost,
+            "drop_cost": self.drop_cost,
+            "total_cost": self.total_cost,
+            "completion_rate": round(self.completion_rate, 4),
+            "utilization": round(self.utilization, 4),
+            "reconfig_rate": round(self.reconfig_rate, 4),
+        }
+
+
+def collect_metrics(result: SimulationResult, name: str = "") -> RunMetrics:
+    """Summarize a :class:`SimulationResult`."""
+    instance: Instance = result.instance
+    return RunMetrics(
+        name=name or instance.name,
+        n=result.n,
+        total_jobs=instance.sequence.num_jobs,
+        executed=len(result.executed_uids),
+        dropped=len(result.dropped_uids),
+        reconfig_count=result.ledger.reconfig_count,
+        reconfig_cost=result.ledger.reconfig_cost,
+        drop_cost=result.ledger.drop_cost,
+        total_cost=result.ledger.total_cost,
+        horizon=instance.horizon,
+    )

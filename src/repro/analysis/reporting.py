@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the experiment suite.
+
+Every experiment prints its results as a :class:`Table` — the reproduction's
+stand-in for the paper's (nonexistent) tables.  The renderer right-aligns
+numbers, left-aligns text, and emits GitHub-flavoured markdown so the output
+can be pasted into EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A simple column-aligned table."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows), 1)
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        header = "| " + " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        ) + " |"
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(v.rjust(widths[i]) for i, v in enumerate(row)) + " |"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,145 @@
+"""ASCII timelines of schedules.
+
+Renders a schedule as a resource × round grid: each cell shows the color
+configured at that location in that round (a single glyph per color), with
+``*`` appended styling replaced by case — uppercase glyph when the slot
+executed a job, lowercase when the resource sat configured but idle, and
+``.`` when black.  Useful for eyeballing thrashing (vertical stripes) vs
+underutilization (long lowercase runs) in examples and bug reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.job import BLACK, Color, color_sort_key
+from repro.core.request import RequestSequence
+from repro.core.schedule import Schedule
+
+_GLYPHS = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+@dataclass(frozen=True)
+class TimelineStats:
+    """Occupancy summary of a rendered window."""
+
+    rounds: int
+    n: int
+    busy_slots: int
+    configured_slots: int
+
+    @property
+    def utilization(self) -> float:
+        """Executions per resource-round."""
+        total = self.rounds * self.n
+        return self.busy_slots / total if total else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Configured (non-black) share of resource-rounds."""
+        total = self.rounds * self.n
+        return self.configured_slots / total if total else 0.0
+
+
+def render_timeline(
+    schedule: Schedule,
+    sequence: RequestSequence,
+    start: int = 0,
+    end: int | None = None,
+    max_width: int = 120,
+) -> str:
+    """Render rounds ``[start, end)`` of a schedule as an ASCII grid."""
+    horizon = sequence.horizon
+    end = horizon if end is None else min(end, horizon)
+    if end - start > max_width:
+        end = start + max_width
+
+    colors = sorted(
+        {rc.new_color for rc in schedule.reconfigs if rc.new_color is not BLACK},
+        key=color_sort_key,
+    )
+    glyph: dict[Color, str] = {
+        color: _GLYPHS[i % len(_GLYPHS)] for i, color in enumerate(colors)
+    }
+
+    # Reconstruct per-location color timelines (uni-speed view: the color in
+    # force during the execution phase of each round's last mini-round).
+    per_loc: dict[int, list] = defaultdict(list)
+    for rc in schedule.reconfigs:
+        per_loc[rc.location].append(rc)
+    grid: list[list[Color]] = [[BLACK] * (end - start) for _ in range(schedule.n)]
+    for loc in range(schedule.n):
+        rcs = sorted(per_loc.get(loc, []), key=lambda rc: (rc.round, rc.mini))
+        current: Color = BLACK
+        idx = 0
+        for rnd in range(start, end):
+            while idx < len(rcs) and rcs[idx].round <= rnd:
+                current = rcs[idx].new_color
+                idx += 1
+            grid[loc][rnd - start] = current
+
+    executed = {(ex.location, ex.round) for ex in schedule.executions}
+
+    lines = []
+    header = "      " + "".join(
+        "|" if (start + i) % 10 == 0 else " " for i in range(end - start)
+    )
+    lines.append(header)
+    busy = configured = 0
+    for loc in range(schedule.n):
+        row = []
+        for i, color in enumerate(grid[loc]):
+            if color is BLACK:
+                row.append(".")
+                continue
+            configured += 1
+            g = glyph.get(color, "?")
+            if (loc, start + i) in executed:
+                busy += 1
+                row.append(g.upper())
+            else:
+                row.append(g.lower())
+        lines.append(f"r{loc:<4d} " + "".join(row))
+    legend = ", ".join(f"{glyph[c]}={c!r}" for c in colors[: len(_GLYPHS)])
+    lines.append(f"legend: {legend}" if legend else "legend: (no colors)")
+    stats = TimelineStats(
+        rounds=end - start,
+        n=schedule.n,
+        busy_slots=busy,
+        configured_slots=configured,
+    )
+    lines.append(
+        f"utilization {stats.utilization:.1%}, occupancy {stats.occupancy:.1%} "
+        f"over rounds [{start}, {end})"
+    )
+    return "\n".join(lines)
+
+
+def timeline_stats(
+    schedule: Schedule,
+    sequence: RequestSequence,
+) -> TimelineStats:
+    """Occupancy statistics over the whole horizon (no rendering)."""
+    horizon = sequence.horizon
+    executed = len(schedule.executions)
+    # Configured slot count: integrate each location's non-black spans.
+    per_loc: dict[int, list] = defaultdict(list)
+    for rc in schedule.reconfigs:
+        per_loc[rc.location].append(rc)
+    configured = 0
+    for loc in range(schedule.n):
+        rcs = sorted(per_loc.get(loc, []), key=lambda rc: (rc.round, rc.mini))
+        current: Color = BLACK
+        prev_round = 0
+        for rc in rcs:
+            if current is not BLACK:
+                configured += max(0, min(rc.round, horizon) - prev_round)
+            current = rc.new_color
+            prev_round = rc.round
+        if current is not BLACK:
+            configured += max(0, horizon - prev_round)
+    return TimelineStats(
+        rounds=horizon, n=schedule.n,
+        busy_slots=executed, configured_slots=configured,
+    )

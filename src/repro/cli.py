@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Examples::
+
+    repro list
+    repro experiment E1 --scale full
+    repro all --scale quick
+    repro solve --workload poisson --n 16 --delta 4 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.metrics import collect_metrics
+from repro.core.request import Instance
+from repro.core.simulator import simulate
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.policies.baselines import (
+    ClassicLRUPolicy,
+    GreedyUtilizationPolicy,
+    StaticPartitionPolicy,
+)
+from repro.policies.dlru import DeltaLRUPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import EDFPolicy
+from repro.reductions.pipeline import solve_online
+from repro.workloads import (
+    background_shortterm_instance,
+    batched_workload,
+    bursty_workload,
+    datacenter_workload,
+    flash_crowd_workload,
+    mmpp_workload,
+    poisson_workload,
+    rate_limited_workload,
+    router_workload,
+    uniform_workload,
+)
+
+WORKLOADS: dict[str, Callable[..., Instance]] = {
+    "rate-limited": rate_limited_workload,
+    "batched": batched_workload,
+    "poisson": poisson_workload,
+    "bursty": bursty_workload,
+    "uniform": uniform_workload,
+    "datacenter": datacenter_workload,
+    "router": router_workload,
+    "mmpp": mmpp_workload,
+    "flash-crowd": flash_crowd_workload,
+}
+
+POLICIES = {
+    "dlru": DeltaLRUPolicy,
+    "edf": EDFPolicy,
+    "dlru-edf": DeltaLRUEDFPolicy,
+    "static": lambda delta: StaticPartitionPolicy(),
+    "classic-lru": lambda delta: ClassicLRUPolicy(),
+    "greedy": lambda delta: GreedyUtilizationPolicy(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reconfigurable resource scheduling with variable delay bounds "
+            "(Plaxton, Sun, Tiwari, Vin — IPPS 2007): experiments and solvers."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workload generators")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment and print its table")
+    p_exp.add_argument("experiment_id", help="e.g. E1 .. E12, A1 .. A3")
+    p_exp.add_argument("--scale", default="quick", choices=["quick", "full"])
+
+    p_all = sub.add_parser("all", help="run the whole experiment suite")
+    p_all.add_argument("--scale", default="quick", choices=["quick", "full"])
+
+    p_solve = sub.add_parser(
+        "solve", help="generate (or load) a workload and run a solver on it"
+    )
+    p_solve.add_argument("--workload", default="poisson", choices=sorted(WORKLOADS))
+    p_solve.add_argument("--trace", default=None,
+                         help="load the instance from a trace file instead of generating")
+    p_solve.add_argument("--n", type=int, default=16, help="online resources")
+    p_solve.add_argument("--delta", type=int, default=4, help="reconfiguration cost")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--horizon", type=int, default=None)
+    p_solve.add_argument(
+        "--policy",
+        default="pipeline",
+        choices=["pipeline"] + sorted(POLICIES),
+        help="'pipeline' = VarBatch∘Distribute∘DeltaLRU-EDF (Theorem 3); "
+        "others run the named policy directly on the raw sequence",
+    )
+    p_solve.add_argument("--timeline", action="store_true",
+                         help="print an ASCII timeline of the schedule")
+
+    p_trace = sub.add_parser(
+        "trace", help="generate a workload and save it as a reusable trace file"
+    )
+    p_trace.add_argument("--workload", default="poisson", choices=sorted(WORKLOADS))
+    p_trace.add_argument("--delta", type=int, default=4)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--horizon", type=int, default=None)
+    p_trace.add_argument("--out", required=True, help="output trace path")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the recommended solver on a trace and verify the run "
+        "end to end (schedule validity, cost agreement, lemma bounds)",
+    )
+    p_verify.add_argument("--trace", required=True, help="trace file to verify")
+    p_verify.add_argument("--n", type=int, default=16)
+    return parser
+
+
+def _make_instance(args: argparse.Namespace) -> Instance:
+    kwargs: dict = {"delta": args.delta, "seed": args.seed}
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    return WORKLOADS[args.workload](**kwargs)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly like a
+        # well-behaved unix tool.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for eid in EXPERIMENTS:
+            print(f"  {eid}")
+        print("workloads:")
+        for name in sorted(WORKLOADS):
+            print(f"  {name}")
+        print("scenario instances: background-shortterm (see repro.workloads)")
+        return 0
+
+    if args.command == "experiment":
+        result = run_experiment(args.experiment_id, args.scale)
+        print(result.render())
+        return 0 if result.all_passed else 1
+
+    if args.command == "all":
+        failures = 0
+        for eid in EXPERIMENTS:
+            result = run_experiment(eid, args.scale)
+            print(result.render())
+            print()
+            failures += 0 if result.all_passed else 1
+        print(f"{len(EXPERIMENTS) - failures}/{len(EXPERIMENTS)} experiments passed all checks")
+        return 0 if failures == 0 else 1
+
+    if args.command == "solve":
+        if args.trace is not None:
+            from repro.workloads.trace import load_instance
+
+            instance = load_instance(args.trace)
+        else:
+            instance = _make_instance(args)
+        if args.policy == "pipeline":
+            result = solve_online(instance, n=args.n, record_events=False)
+            summary = result.ledger.summary()
+            schedule = result.schedule
+        else:
+            policy = POLICIES[args.policy](instance.delta)
+            run = simulate(instance, policy, n=args.n, record_events=False)
+            summary = collect_metrics(run).as_dict()
+            schedule = run.schedule
+        print(f"instance: {instance.name}  {instance.notation()}  "
+              f"jobs={instance.sequence.num_jobs} horizon={instance.horizon}")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+        if args.timeline:
+            from repro.analysis.timeline import render_timeline
+
+            print()
+            print(render_timeline(schedule, instance.sequence))
+        return 0
+
+    if args.command == "trace":
+        from repro.workloads.trace import save_instance
+
+        instance = _make_instance(args)
+        save_instance(instance, args.out)
+        print(f"wrote {instance.sequence.num_jobs} jobs "
+              f"({instance.notation()}) to {args.out}")
+        return 0
+
+    if args.command == "verify":
+        from repro.analysis.verify import verify_run
+        from repro.core.notation import classify, recommended_solver
+        from repro.workloads.trace import load_instance
+
+        instance = load_instance(args.trace)
+        cls = classify(instance)
+        solver = recommended_solver(instance)
+        print(f"instance: {instance.name}  {cls.notation()}  "
+              f"-> {cls.theorem} via {cls.solver_name()} (n={args.n})")
+        result = solver(instance, n=args.n)
+        report = verify_run(result)
+        print(report.render())
+        print(f"cost: {result.ledger.summary()}")
+        return 0 if report.ok else 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

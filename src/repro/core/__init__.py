@@ -1,0 +1,61 @@
+"""Core model for reconfigurable resource scheduling.
+
+This package implements the problem substrate of Plaxton, Sun, Tiwari and
+Vin, *Reconfigurable Resource Scheduling with Variable Delay Bounds*
+(IPPS 2007): unit jobs with per-color delay bounds, colored resources with a
+fixed reconfiguration cost, the four-phase round structure (drop, arrival,
+reconfiguration, execution), explicit schedules with an independent validity
+checker, and the round-loop simulator that drives online policies.
+"""
+
+from repro.core.job import Job, Color
+from repro.core.request import Request, RequestSequence, Instance
+from repro.core.ledger import CostLedger
+from repro.core.resources import ResourceBank
+from repro.core.pending import PendingPool, PendingStore
+from repro.core.events import (
+    Event,
+    ArrivalEvent,
+    DropEvent,
+    ExecutionEvent,
+    ReconfigEvent,
+    EventLog,
+)
+from repro.core.schedule import Schedule, ScheduleError, validate_schedule
+from repro.core.simulator import Simulator, SimulationResult, Policy
+from repro.core.notation import (
+    BatchField,
+    ProblemClass,
+    classify,
+    parse,
+    recommended_solver,
+)
+
+__all__ = [
+    "Job",
+    "Color",
+    "Request",
+    "RequestSequence",
+    "Instance",
+    "CostLedger",
+    "ResourceBank",
+    "PendingPool",
+    "PendingStore",
+    "Event",
+    "ArrivalEvent",
+    "DropEvent",
+    "ExecutionEvent",
+    "ReconfigEvent",
+    "EventLog",
+    "Schedule",
+    "ScheduleError",
+    "validate_schedule",
+    "Simulator",
+    "SimulationResult",
+    "Policy",
+    "BatchField",
+    "ProblemClass",
+    "classify",
+    "parse",
+    "recommended_solver",
+]

@@ -1,0 +1,150 @@
+"""Pending job pools.
+
+After a job arrives it is *pending* until executed or dropped.  The
+simulator keeps one pool per color; pools hand out the earliest-deadline
+pending job in ``O(log n)`` (heapq, per the reproduction band's hint) and
+drop everything whose deadline has been reached.
+
+Executed jobs are removed lazily: execution marks the uid as done, and the
+heap discards stale entries when popped.  This keeps both execution and drop
+operations logarithmic without heap surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Iterator
+
+from repro.core.job import Color, Job
+
+
+class PendingPool:
+    """Deadline-ordered pool of pending jobs of a single color."""
+
+    __slots__ = ("color", "_heap", "_done", "_live")
+
+    def __init__(self, color: Color):
+        self.color = color
+        self._heap: list[tuple[tuple, Job]] = []
+        self._done: set[int] = set()
+        self._live = 0
+
+    def add(self, job: Job) -> None:
+        if job.color != self.color:
+            raise ValueError(f"job color {job.color!r} != pool color {self.color!r}")
+        heapq.heappush(self._heap, (job.sort_key(), job))
+        self._live += 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def idle(self) -> bool:
+        """The paper's idleness predicate: no pending jobs of this color."""
+        return self._live == 0
+
+    def _skim(self) -> None:
+        """Discard executed entries from the top of the heap."""
+        while self._heap and self._heap[0][1].uid in self._done:
+            _, job = heapq.heappop(self._heap)
+            self._done.discard(job.uid)
+
+    def peek(self) -> Job | None:
+        """Earliest-deadline pending job, or None if idle."""
+        self._skim()
+        return self._heap[0][1] if self._heap else None
+
+    def earliest_deadline(self) -> int | None:
+        job = self.peek()
+        return None if job is None else job.deadline
+
+    def pop(self) -> Job:
+        """Remove and return the earliest-deadline pending job."""
+        self._skim()
+        if not self._heap:
+            raise IndexError(f"pool for color {self.color!r} is empty")
+        _, job = heapq.heappop(self._heap)
+        self._live -= 1
+        return job
+
+    def remove(self, job: Job) -> None:
+        """Mark an arbitrary pending job as no longer pending (lazy)."""
+        self._done.add(job.uid)
+        self._live -= 1
+
+    def drop_expired(self, rnd: int) -> list[Job]:
+        """Remove and return every pending job with deadline <= ``rnd``.
+
+        In the paper's phase order, the drop phase of round ``i`` drops the
+        jobs with deadline exactly ``i``; since the simulator calls this every
+        round, ``<=`` and ``==`` coincide, but ``<=`` makes the pool robust to
+        sparse driving (e.g. schedule validation jumping between rounds).
+        """
+        dropped: list[Job] = []
+        while True:
+            self._skim()
+            if not self._heap or self._heap[0][1].deadline > rnd:
+                break
+            _, job = heapq.heappop(self._heap)
+            self._live -= 1
+            dropped.append(job)
+        return dropped
+
+    def pending_jobs(self) -> list[Job]:
+        """Snapshot of pending jobs in deadline order (test/analysis helper)."""
+        self._skim()
+        live = [job for _, job in self._heap if job.uid not in self._done]
+        return sorted(live, key=Job.sort_key)
+
+
+class PendingStore:
+    """All pending jobs, bucketed per color."""
+
+    def __init__(self) -> None:
+        self._pools: dict[Color, PendingPool] = {}
+
+    def pool(self, color: Color) -> PendingPool:
+        pool = self._pools.get(color)
+        if pool is None:
+            pool = self._pools[color] = PendingPool(color)
+        return pool
+
+    def add(self, job: Job) -> None:
+        self.pool(job.color).add(job)
+
+    def colors(self) -> Iterator[Color]:
+        return iter(self._pools)
+
+    def nonidle_colors(self) -> list[Color]:
+        return [color for color, pool in self._pools.items() if not pool.idle]
+
+    def idle(self, color: Color) -> bool:
+        pool = self._pools.get(color)
+        return pool is None or pool.idle
+
+    def pending_count(self, color: Color | None = None) -> int:
+        if color is not None:
+            pool = self._pools.get(color)
+            return 0 if pool is None else len(pool)
+        return sum(len(pool) for pool in self._pools.values())
+
+    def drop_expired(self, rnd: int) -> list[Job]:
+        """Drop every pending job whose deadline has been reached."""
+        dropped: list[Job] = []
+        for pool in self._pools.values():
+            dropped.extend(pool.drop_expired(rnd))
+        return dropped
+
+    def execute_one(self, color: Color) -> Job | None:
+        """Pop the earliest-deadline pending job of ``color``, if any."""
+        pool = self._pools.get(color)
+        if pool is None or pool.idle:
+            return None
+        return pool.pop()
+
+    def all_pending(self) -> list[Job]:
+        jobs: list[Job] = []
+        for pool in self._pools.values():
+            jobs.extend(pool.pending_jobs())
+        return sorted(jobs, key=Job.sort_key)

@@ -1,0 +1,164 @@
+"""Colored resources and minimal-reconfiguration diffing.
+
+Resources are numbered from 0 and initially black (unconfigured).  Policies
+express their reconfiguration decision as a desired *multiset* of colors (a
+color may legitimately appear several times: the Section-3 algorithms cache
+every color in two locations).  The bank maps that multiset onto concrete
+locations while keeping already-correctly-colored locations untouched, so
+the reconfiguration cost charged equals the multiset distance between the
+old and new configurations — no policy can be over-charged by unlucky
+placement.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.job import BLACK, Color
+from repro.core.ledger import CostLedger
+
+
+class ResourceBank:
+    """``n`` colored resources with minimal-cost multiset reconfiguration."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one resource, got {n}")
+        self._colors: list[Color] = [BLACK] * n
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._colors)
+
+    def color_at(self, location: int) -> Color:
+        return self._colors[location]
+
+    def assignment(self) -> tuple[Color, ...]:
+        """Current color of every location."""
+        return tuple(self._colors)
+
+    def configured_colors(self) -> Counter:
+        """Multiset of currently configured (non-black) colors."""
+        counts: Counter = Counter(self._colors)
+        counts.pop(BLACK, None)
+        return counts
+
+    def locations_of(self, color: Color) -> list[int]:
+        return [i for i, c in enumerate(self._colors) if c == color]
+
+    def is_configured(self, color: Color) -> bool:
+        return color in self._colors
+
+    # -- reconfiguration -------------------------------------------------------
+
+    def reconfigure_to(
+        self,
+        desired: Iterable[Color],
+        rnd: int,
+        ledger: CostLedger | None = None,
+    ) -> list[tuple[int, Color, Color]]:
+        """Recolor locations so the bank holds exactly ``desired``.
+
+        ``desired`` is a multiset of at most ``n`` non-black colors; any
+        remaining locations are left black (a location already black stays
+        black for free; a location whose color is surplus is recolored to
+        black *only if needed to shed surplus copies*, which the paper's model
+        never charges for — we therefore keep surplus copies untouched unless
+        their slot is claimed by a needed color, and recolor claimed slots
+        directly to the new color, one ``Delta`` each).
+
+        Returns the list of ``(location, old_color, new_color)`` changes and
+        charges each to ``ledger`` if given.
+        """
+        want = Counter(desired)
+        want.pop(BLACK, None)
+        if sum(want.values()) > self.n:
+            raise ValueError(
+                f"desired multiset has {sum(want.values())} colors "
+                f"but only {self.n} resources exist"
+            )
+
+        # Locations already holding a wanted color keep it (up to
+        # multiplicity); everything else is a candidate slot.
+        keep: list[bool] = [False] * self.n
+        remaining = Counter(want)
+        for i, color in enumerate(self._colors):
+            if remaining.get(color, 0) > 0:
+                remaining[color] -= 1
+                keep[i] = True
+
+        # Missing copies go into free slots: prefer black slots, then slots
+        # holding colors that are no longer wanted at all, then surplus
+        # copies of still-wanted colors.  The preference order does not
+        # change the charged cost (every claimed slot costs one Delta) but
+        # keeps surplus replicas alive when there is room, matching the
+        # "keep it cached if nothing needs the slot" reading of the paper.
+        missing: list[Color] = []
+        for color, count in remaining.items():
+            missing.extend([color] * count)
+
+        changes: list[tuple[int, Color, Color]] = []
+        if missing:
+            free_black = [i for i in range(self.n) if not keep[i] and self._colors[i] is BLACK]
+            free_unwanted = [
+                i
+                for i in range(self.n)
+                if not keep[i]
+                and self._colors[i] is not BLACK
+                and want.get(self._colors[i], 0) == 0
+            ]
+            free_surplus = [
+                i
+                for i in range(self.n)
+                if not keep[i]
+                and self._colors[i] is not BLACK
+                and want.get(self._colors[i], 0) > 0
+            ]
+            slots = free_black + free_unwanted + free_surplus
+            if len(slots) < len(missing):
+                raise AssertionError("slot accounting bug: not enough free slots")
+            for color, loc in zip(missing, slots):
+                old = self._colors[loc]
+                self._colors[loc] = color
+                changes.append((loc, old, color))
+                if ledger is not None:
+                    ledger.charge_reconfig(rnd, color)
+        return changes
+
+    def set_color(
+        self, location: int, color: Color, rnd: int, ledger: CostLedger | None = None
+    ) -> bool:
+        """Explicitly recolor one location; returns True if a change occurred.
+
+        Used by schedule replay, where the reconfigurations are prescribed
+        per-location rather than derived from a desired multiset.
+        """
+        if self._colors[location] == color:
+            return False
+        self._colors[location] = color
+        if ledger is not None and color is not BLACK:
+            ledger.charge_reconfig(rnd, color)
+        elif ledger is not None:
+            # Recoloring *to* black is never useful under the cost model but
+            # is permitted by replay; it still costs Delta per the model
+            # ("a resource can be reconfigured at any time at a fixed cost").
+            ledger.charge_reconfig(rnd, color)
+        return True
+
+
+def multiset_distance(a: Sequence[Color], b: Sequence[Color]) -> int:
+    """Number of recolors needed to turn multiset ``a`` into multiset ``b``.
+
+    Black entries are slack: a black slot can absorb a new color at the cost
+    of one recolor, and an unneeded color can be left in place for free, so
+    the distance is simply the number of wanted copies not already present.
+    """
+    have = Counter(c for c in a if c is not BLACK)
+    want = Counter(c for c in b if c is not BLACK)
+    missing = 0
+    for color, count in want.items():
+        missing += max(0, count - have.get(color, 0))
+    return missing

@@ -1,0 +1,228 @@
+"""The four-phase round engine.
+
+Each round runs the paper's phases in order:
+
+1. **drop** — every pending job with deadline equal to the current round is
+   dropped at unit cost;
+2. **arrival** — the round's request is delivered;
+3. **reconfiguration** — the policy states its desired multiset of colors;
+   the resource bank recolors the minimum number of locations at ``Delta``
+   each;
+4. **execution** — every location configured to color ``l`` executes the
+   earliest-deadline pending job of ``l`` (if any).
+
+``speed=2`` repeats phases 3 and 4 within each round (mini-rounds), which is
+how the paper defines double-speed algorithms such as DS-Seq-EDF.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.events import (
+    ArrivalEvent,
+    DropEvent,
+    EventLog,
+    ExecutionEvent,
+    ReconfigEvent,
+)
+from repro.core.job import Color, Job
+from repro.core.ledger import CostLedger
+from repro.core.pending import PendingStore
+from repro.core.request import Instance, Request, RequestSequence
+from repro.core.resources import ResourceBank
+from repro.core.schedule import Schedule
+
+
+class Policy(ABC):
+    """An online reconfiguration policy.
+
+    The simulator owns job bookkeeping (pending pools, drops, execution);
+    the policy only decides *which colors to configure*.  Hooks for the drop
+    and arrival phases let policies maintain the paper's per-color state
+    (counters, eligibility, timestamps) without duplicating the job store.
+    """
+
+    #: set by :meth:`bind`
+    sim: "Simulator"
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach the policy to a simulator before the run starts."""
+        self.sim = sim
+
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
+        """Called after the drop phase of round ``rnd``."""
+
+    def on_arrival_phase(self, rnd: int, request: Request) -> None:
+        """Called after the request of round ``rnd`` is delivered."""
+
+    @abstractmethod
+    def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
+        """Multiset of at most ``n`` colors to configure this mini-round."""
+
+    def on_execution_phase(
+        self, rnd: int, mini: int, executed: Sequence[tuple[int, Job]]
+    ) -> None:
+        """Called after the execution phase with ``(location, job)`` pairs."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    instance: Instance
+    n: int
+    speed: int
+    ledger: CostLedger
+    events: EventLog
+    schedule: Schedule
+    executed_uids: set[int]
+    dropped_uids: set[int]
+    policy: Policy
+
+    @property
+    def total_cost(self) -> int:
+        return self.ledger.total_cost
+
+    @property
+    def reconfig_cost(self) -> int:
+        return self.ledger.reconfig_cost
+
+    @property
+    def drop_cost(self) -> int:
+        return self.ledger.drop_cost
+
+
+class Simulator:
+    """Drives one policy over one instance.
+
+    Parameters
+    ----------
+    instance:
+        The request sequence and ``Delta``.
+    policy:
+        The online policy under test.
+    n:
+        Number of resources given to the policy.
+    speed:
+        Mini-rounds per round (1 or 2 in the paper; any positive value works).
+    record_events:
+        When False, skips the event log — used by the throughput
+        benchmarks; the explicit schedule (cheap appends) and all costs are
+        still recorded exactly.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: Policy,
+        n: int,
+        speed: int = 1,
+        record_events: bool = True,
+    ):
+        if speed < 1:
+            raise ValueError(f"speed must be >= 1, got {speed}")
+        self.instance = instance
+        self.sequence: RequestSequence = instance.sequence
+        self.delta = instance.delta
+        self.policy = policy
+        self.n = n
+        self.speed = speed
+        self.bank = ResourceBank(n)
+        self.pending = PendingStore()
+        self.ledger = CostLedger(self.delta)
+        self.events = EventLog(enabled=record_events)
+        self.schedule = Schedule(n=n, speed=speed)
+        self._record = record_events
+        self.executed_uids: set[int] = set()
+        self.dropped_uids: set[int] = set()
+        self.round = -1
+        policy.bind(self)
+
+    # -- state views for policies ------------------------------------------------
+
+    def is_idle(self, color: Color) -> bool:
+        return self.pending.idle(color)
+
+    def earliest_deadline(self, color: Color) -> int | None:
+        pool = self.pending.pool(color)
+        return pool.earliest_deadline()
+
+    def cached_colors(self):
+        return self.bank.configured_colors()
+
+    # -- the round loop ------------------------------------------------------------
+
+    def run(self, horizon: int | None = None) -> SimulationResult:
+        """Simulate rounds ``0 .. horizon-1`` (default: the sequence horizon)."""
+        limit = self.sequence.horizon if horizon is None else horizon
+        for rnd in range(limit):
+            self.step(rnd)
+        return SimulationResult(
+            instance=self.instance,
+            n=self.n,
+            speed=self.speed,
+            ledger=self.ledger,
+            events=self.events,
+            schedule=self.schedule,
+            executed_uids=self.executed_uids,
+            dropped_uids=self.dropped_uids,
+            policy=self.policy,
+        )
+
+    def step(self, rnd: int) -> None:
+        """Run one full round (all four phases, ``speed`` mini-rounds)."""
+        if rnd != self.round + 1:
+            raise ValueError(f"rounds must be stepped in order; expected {self.round + 1}, got {rnd}")
+        self.round = rnd
+
+        # Phase 1: drop.
+        dropped = self.pending.drop_expired(rnd)
+        for job in dropped:
+            self.ledger.charge_drop(rnd, job.color)
+            self.dropped_uids.add(job.uid)
+            if self._record:
+                self.events.append(DropEvent(rnd, 0, job))
+        self.policy.on_drop_phase(rnd, dropped)
+
+        # Phase 2: arrival.
+        request = self.sequence.request(rnd)
+        for job in request:
+            self.pending.add(job)
+            if self._record:
+                self.events.append(ArrivalEvent(rnd, 0, job))
+        self.policy.on_arrival_phase(rnd, request)
+
+        # Phases 3+4, repeated per mini-round.
+        for mini in range(self.speed):
+            desired = self.policy.desired_configuration(rnd, mini)
+            changes = self.bank.reconfigure_to(desired, rnd, self.ledger)
+            for loc, old, new in changes:
+                self.schedule.add_reconfig(rnd, loc, new, mini)
+                if self._record:
+                    self.events.append(ReconfigEvent(rnd, mini, loc, old, new))
+
+            executed: list[tuple[int, Job]] = []
+            for loc in range(self.n):
+                color = self.bank.color_at(loc)
+                job = self.pending.execute_one(color) if color is not None else None
+                if job is not None:
+                    executed.append((loc, job))
+                    self.executed_uids.add(job.uid)
+                    self.schedule.add_execution(rnd, loc, job.uid, mini)
+                    if self._record:
+                        self.events.append(ExecutionEvent(rnd, mini, loc, job))
+            self.policy.on_execution_phase(rnd, mini, executed)
+
+
+def simulate(
+    instance: Instance,
+    policy: Policy,
+    n: int,
+    speed: int = 1,
+    record_events: bool = True,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(instance, policy, n, speed, record_events).run()

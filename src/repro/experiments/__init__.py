@@ -1,0 +1,23 @@
+"""The E1–E12 / A1–A3 experiment suite.
+
+The paper is theory-only; each experiment here empirically validates one of
+its claims (DESIGN.md §4 maps experiments to claims).  Every experiment
+function takes ``scale`` (``"quick"`` for CI-sized runs, ``"full"`` for the
+CLI) and returns an :class:`ExperimentResult` whose ``checks`` are asserted
+by the integration tests and whose ``table`` is what the benchmark harness
+prints.
+"""
+
+from repro.experiments.common import ExperimentResult, Check
+from repro.experiments.montecarlo import Replication, replicate
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Check",
+    "Replication",
+    "replicate",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

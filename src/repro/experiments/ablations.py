@@ -1,0 +1,295 @@
+"""A1–A5 — ablations of the design choices DESIGN.md calls out.
+
+- **A1**: the LRU/EDF capacity split (the paper uses half/half of the
+  distinct capacity; 0 = pure EDF cache, 1 = pure LRU cache).
+- **A2**: the two-location replication invariant on vs off.
+- **A3**: the cost of the VarBatch layer — running the full pipeline on an
+  already-batched instance vs invoking Distribute directly.
+- **A4**: pipeline vs the direct unbatched heuristic
+  (:class:`repro.policies.direct.DirectLRUEDFPolicy`) on raw traces — what
+  the VarBatch delay costs on benign inputs, and what the guarantee buys on
+  adversarial ones.
+- **A5**: the per-color drop-cost extension
+  (:mod:`repro.extensions.weighted`): value-at-stake eligibility vs the
+  paper's job-count eligibility under skewed drop costs.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.reporting import Table
+from repro.core.simulator import simulate
+from repro.experiments.common import ExperimentResult, pick
+from repro.policies.direct import DirectLRUEDFPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.reductions.pipeline import solve_batched, solve_online
+from repro.workloads.generators import (
+    batched_workload,
+    bursty_workload,
+    poisson_workload,
+    rate_limited_workload,
+)
+
+_A1_PARAMS = {
+    "quick": {"seeds": [0, 1, 2, 3], "num_colors": 6, "horizon": 128, "delta": 3,
+              "n": 8, "fractions": [0.0, 0.25, 0.5, 0.75, 1.0]},
+    "full": {"seeds": list(range(10)), "num_colors": 10, "horizon": 512, "delta": 4,
+             "n": 16, "fractions": [0.0, 0.25, 0.5, 0.75, 1.0]},
+}
+
+_A2_PARAMS = {
+    "quick": {"seeds": [0, 1, 2, 3], "num_colors": 6, "horizon": 128, "delta": 3, "n": 8},
+    "full": {"seeds": list(range(10)), "num_colors": 10, "horizon": 512, "delta": 4, "n": 16},
+}
+
+_A3_PARAMS = {
+    "quick": {"seeds": [0, 1, 2], "num_colors": 4, "horizon": 64, "delta": 3, "n": 8},
+    "full": {"seeds": list(range(8)), "num_colors": 6, "horizon": 256, "delta": 4, "n": 16},
+}
+
+
+def run_a1(scale: str = "quick") -> ExperimentResult:
+    """Sweep the LRU share of the distinct-color capacity."""
+    p = pick(scale, _A1_PARAMS)
+    n = p["n"]
+    table = Table(
+        ["lru fraction"] + [f"seed {s}" for s in p["seeds"]] + ["mean"],
+        title=f"A1 — LRU/EDF capacity split (n={n}), total cost",
+    )
+    means: dict[float, float] = {}
+    for fraction in p["fractions"]:
+        costs = []
+        for seed in p["seeds"]:
+            instance = rate_limited_workload(
+                num_colors=p["num_colors"], horizon=p["horizon"],
+                delta=p["delta"], seed=seed,
+            )
+            policy = DeltaLRUEDFPolicy(instance.delta, lru_fraction=fraction)
+            run = simulate(instance, policy, n=n, record_events=False)
+            costs.append(run.total_cost)
+        means[fraction] = statistics.mean(costs)
+        table.add_row(fraction, *costs, means[fraction])
+
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="Ablation — LRU/EDF capacity split",
+        claim="the balanced split is competitive with the best pure extreme",
+        table=table,
+        data={"means": means},
+    )
+    half = means[0.5]
+    extremes = min(means[0.0], means[1.0])
+    result.check(
+        "the paper's half/half split is within 2x of the best extreme",
+        half <= 2 * max(extremes, 1),
+    )
+    result.check(
+        "pure LRU (fraction=1) is never strictly best by a wide margin",
+        means[1.0] >= 0.5 * half,
+    )
+    return result
+
+
+def run_a2(scale: str = "quick") -> ExperimentResult:
+    """Replication invariant on vs off."""
+    p = pick(scale, _A2_PARAMS)
+    n = p["n"]
+    table = Table(
+        ["seed", "replicated cost", "unreplicated cost"],
+        title=f"A2 — replication on/off (n={n})",
+    )
+    rep, unrep = [], []
+    for seed in p["seeds"]:
+        instance = rate_limited_workload(
+            num_colors=p["num_colors"], horizon=p["horizon"],
+            delta=p["delta"], seed=seed,
+        )
+        run_rep = simulate(
+            instance, DeltaLRUEDFPolicy(instance.delta, replication=True),
+            n=n, record_events=False,
+        )
+        run_unrep = simulate(
+            instance, DeltaLRUEDFPolicy(instance.delta, replication=False),
+            n=n, record_events=False,
+        )
+        rep.append(run_rep.total_cost)
+        unrep.append(run_unrep.total_cost)
+        table.add_row(seed, run_rep.total_cost, run_unrep.total_cost)
+
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="Ablation — the two-location replication invariant",
+        claim="replication trades distinct capacity for per-color bandwidth",
+        table=table,
+        data={"replicated": rep, "unreplicated": unrep},
+    )
+    result.check(
+        "both variants complete with finite cost",
+        all(c >= 0 for c in rep + unrep),
+    )
+    # The honest finding: replication is load-bearing in the *analysis*
+    # (it gives each cached color the execution bandwidth 2 per round that
+    # Lemma 3.10's coupling against DS-Seq-EDF needs) but halves the
+    # distinct-color capacity, which dominates whenever there are more hot
+    # colors than n/2 — so the unreplicated variant wins on these workloads.
+    result.check(
+        "unreplicated never costs more than replicated here "
+        "(capacity effect dominates when hot colors > n/2)",
+        all(u <= r for u, r in zip(unrep, rep)),
+    )
+    return result
+
+
+def run_a3(scale: str = "quick") -> ExperimentResult:
+    """The VarBatch layer's overhead on already-batched input."""
+    p = pick(scale, _A3_PARAMS)
+    n = p["n"]
+    table = Table(
+        ["seed", "direct (Distribute) cost", "via VarBatch cost", "overhead"],
+        title=f"A3 — VarBatch overhead on batched input (n={n})",
+    )
+    overheads = []
+    for seed in p["seeds"]:
+        instance = batched_workload(
+            num_colors=p["num_colors"], horizon=p["horizon"],
+            delta=p["delta"], seed=seed,
+        )
+        direct = solve_batched(instance, n=n, record_events=False)
+        piped = solve_online(instance, n=n, record_events=False)
+        over = piped.total_cost / max(direct.total_cost, 1)
+        overheads.append(over)
+        table.add_row(seed, direct.total_cost, piped.total_cost, over)
+
+    result = ExperimentResult(
+        experiment_id="A3",
+        title="Ablation — VarBatch overhead",
+        claim="halving the effective delay bound costs a bounded constant factor",
+        table=table,
+        data={"overheads": overheads},
+    )
+    result.check(
+        "VarBatch overhead bounded (< 4x) on batched input",
+        max(overheads) < 4,
+    )
+    return result
+
+
+_A4_PARAMS = {
+    "quick": {"seeds": [0, 1, 2], "num_colors": 6, "horizon": 128, "delta": 4, "n": 8},
+    "full": {"seeds": list(range(8)), "num_colors": 10, "horizon": 512, "delta": 4, "n": 16},
+}
+
+
+def run_a4(scale: str = "quick") -> ExperimentResult:
+    """Pipeline (Theorem 3) vs the direct unbatched heuristic."""
+    p = pick(scale, _A4_PARAMS)
+    n = p["n"]
+    table = Table(
+        ["workload", "seed", "pipeline cost", "direct cost", "direct/pipeline"],
+        title=f"A4 — VarBatch pipeline vs direct heuristic (n={n})",
+    )
+    ratios: dict[str, list[float]] = {"poisson": [], "bursty": []}
+    for seed in p["seeds"]:
+        for label, instance in (
+            ("poisson", poisson_workload(
+                num_colors=p["num_colors"], horizon=p["horizon"],
+                delta=p["delta"], seed=seed, rate=0.4)),
+            ("bursty", bursty_workload(
+                num_colors=p["num_colors"], horizon=p["horizon"],
+                delta=p["delta"], seed=seed, burst_rate=1.2)),
+        ):
+            piped = solve_online(instance, n=n, record_events=False)
+            direct = simulate(
+                instance, DirectLRUEDFPolicy(instance.delta), n=n,
+                record_events=False,
+            )
+            ratio = direct.total_cost / max(piped.total_cost, 1)
+            ratios[label].append(ratio)
+            table.add_row(label, seed, piped.total_cost, direct.total_cost, ratio)
+
+    result = ExperimentResult(
+        experiment_id="A4",
+        title="Ablation — pipeline vs direct heuristic on raw traces",
+        claim="the heuristic keeps the jobs' full slack (wins on bursty "
+        "traffic); the pipeline's batching is itself efficient on steady "
+        "traffic — the guarantee costs little where arrivals are smooth",
+        table=table,
+        data={"ratios": ratios},
+    )
+    result.check(
+        "the direct heuristic wins on every bursty trace "
+        "(slack preserved across burst gaps)",
+        max(ratios["bursty"]) < 1.0,
+    )
+    result.check(
+        "neither approach collapses on steady traffic (ratio within 3x)",
+        max(ratios["poisson"]) < 3.0,
+    )
+    return result
+
+
+_A5_PARAMS = {
+    "quick": {"seeds": [0, 1, 2], "num_colors": 8, "horizon": 128, "delta": 4,
+              "n": 8, "skews": [0.0, 1.0, 2.0]},
+    "full": {"seeds": list(range(6)), "num_colors": 12, "horizon": 512, "delta": 4,
+             "n": 16, "skews": [0.0, 0.5, 1.0, 1.5, 2.0]},
+}
+
+
+def run_a5(scale: str = "quick") -> ExperimentResult:
+    """Weighted drop costs: weight-aware vs weight-blind eligibility.
+
+    Extension experiment (see repro.extensions.weighted): the companion
+    variant's per-color drop costs, with the counter machinery advancing by
+    value-at-stake instead of job count.
+    """
+    from repro.extensions.weighted import run_weighted, weighted_workload
+
+    p = pick(scale, _A5_PARAMS)
+    n = p["n"]
+    table = Table(
+        ["skew", "seed", "blind weighted cost", "aware weighted cost", "aware/blind"],
+        title=f"A5 — weight-aware eligibility under skewed drop costs (n={n})",
+    )
+    by_skew: dict[float, list[float]] = {s: [] for s in p["skews"]}
+    for skew in p["skews"]:
+        for seed in p["seeds"]:
+            instance = weighted_workload(
+                num_colors=p["num_colors"], horizon=p["horizon"],
+                delta=p["delta"], seed=seed, weight_skew=skew,
+            )
+            _, blind = run_weighted(instance, n=n, weight_aware=False)
+            _, aware = run_weighted(instance, n=n, weight_aware=True)
+            ratio = aware / max(blind, 1e-9)
+            by_skew[skew].append(ratio)
+            table.add_row(skew, seed, round(blind, 1), round(aware, 1), ratio)
+
+    result = ExperimentResult(
+        experiment_id="A5",
+        title="Extension — per-color drop costs (the c_l drop field)",
+        claim="value-at-stake eligibility dominates job-count eligibility "
+        "exactly when drop costs are skewed, and coincides with it when "
+        "weights are uniform",
+        table=table,
+        data={"ratios": by_skew},
+    )
+    uniform = by_skew[p["skews"][0]]
+    result.check(
+        "with uniform weights (skew 0) the two policies coincide "
+        "(ratio == 1 on every seed)",
+        all(abs(r - 1.0) < 1e-9 for r in uniform),
+    )
+    top_skew = by_skew[p["skews"][-1]]
+    result.check(
+        "under the strongest skew, weight-awareness wins on every seed",
+        all(r < 1.0 for r in top_skew),
+    )
+    result.check(
+        "the advantage grows with skew (mean ratio non-increasing)",
+        all(
+            statistics.mean(by_skew[a]) >= statistics.mean(by_skew[b]) - 0.05
+            for a, b in zip(p["skews"], p["skews"][1:])
+        ),
+    )
+    return result

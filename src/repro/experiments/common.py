@@ -1,0 +1,59 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.reporting import Table
+
+
+@dataclass(frozen=True)
+class Check:
+    """A named boolean outcome asserted by the integration tests."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    table: Table
+    checks: list[Check] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def check(self, description: str, passed: bool) -> None:
+        self.checks.append(Check(description, bool(passed)))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"## {self.experiment_id}: {self.title}",
+            "",
+            f"Claim: {self.claim}",
+            "",
+            self.table.render(),
+            "",
+        ]
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"- [{mark}] {c.description}")
+        return "\n".join(lines)
+
+
+ScaleParams = dict[str, dict]
+
+
+def pick(scale: str, params: ScaleParams) -> dict:
+    """Select the parameter set for a scale, defaulting to ``quick``."""
+    if scale not in params:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(params)}")
+    return params[scale]

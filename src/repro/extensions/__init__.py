@@ -1,0 +1,19 @@
+"""Extensions beyond the paper (clearly labeled; see DESIGN.md).
+
+- :mod:`repro.extensions.weighted` — per-color drop costs (the ``c_l`` drop
+  field of the companion variant ``[Delta | c_l | D | D]`` from the paper's
+  own framework), with a weight-aware generalization of the eligibility
+  counter.
+"""
+
+from repro.extensions.weighted import (
+    WeightAwarePolicy,
+    weighted_cost,
+    weighted_workload,
+)
+
+__all__ = [
+    "WeightAwarePolicy",
+    "weighted_cost",
+    "weighted_workload",
+]

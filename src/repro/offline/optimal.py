@@ -1,0 +1,310 @@
+"""Exact optimal offline solver (small instances).
+
+The optimal offline cost is computed by memoized search over per-round
+configurations.  The key structural facts that make this exact:
+
+1. Given the configuration of every resource in every round, the optimal
+   execution choice is greedy: each location configured to ``l`` executes
+   the earliest-deadline pending ``l`` job (EDF within a color is optimal
+   for unit jobs).
+2. Reconfiguration happens *after* the arrival phase of a round, so there
+   is never a reason to configure a color before it has pending jobs; the
+   candidate colors each round are the nonidle ones plus the colors already
+   on the machine (keeping a configured color is free).
+3. Recoloring to black is never useful (it costs ``Delta`` and enables
+   nothing), so a post-reconfiguration assignment is feasible iff every
+   discarded copy of a current color is overwritten by a newly added copy:
+   ``|current \\ P| <= |P \\ current|``; its cost is
+   ``Delta * |P \\ current|``.
+
+The state is ``(round, configuration multiset, pending multiset)`` where
+pending is summarized as ``(color, deadline, count)`` triples — unit jobs of
+the same color and deadline are interchangeable.  States are memoized; an
+explicit optimal :class:`~repro.core.schedule.Schedule` can be reconstructed
+by replaying the stored decisions against the real job objects.
+
+Internally colors are interned to dense integer ids (profiling showed the
+original Counter-and-sort-key inner loops dominated; see the E12 benchmark
+history) — the public API still speaks native colors.
+
+Complexity is exponential; the solver guards itself with ``max_states`` and
+is intended for the instance sizes used in the competitive-ratio
+experiments (a handful of colors, one or two offline resources, tens of
+rounds).  Correctness is differentially tested against the independent
+exhaustive oracle in :mod:`repro.offline.brute`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.job import Color, color_sort_key
+from repro.core.pending import PendingStore
+from repro.core.request import Instance
+from repro.core.resources import ResourceBank
+from repro.core.schedule import Schedule
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the exact solver would explore too many states."""
+
+
+#: pending summarized per interned color id: ((cid, ((deadline, count), ...)), ...)
+PendingKey = tuple
+ConfigKey = tuple  # sorted tuple of interned color ids, len <= m
+
+
+@dataclass
+class OptimalResult:
+    """Exact optimum for an instance with ``m`` resources."""
+
+    instance: Instance
+    m: int
+    cost: int | float
+    schedule: Schedule
+    states_explored: int
+
+    @property
+    def reconfig_cost(self) -> int | float:
+        return self.schedule.reconfig_count() * self.instance.delta
+
+    @property
+    def drop_cost(self) -> int | float:
+        return self.cost - self.reconfig_cost
+
+
+def _apply_drops(pending: dict, rnd: int) -> tuple[dict, int]:
+    dropped = 0
+    out: dict = {}
+    for cid, dl_counts in pending.items():
+        kept = tuple(item for item in dl_counts if item[0] > rnd)
+        if len(kept) != len(dl_counts):
+            dropped += sum(c for d, c in dl_counts if d <= rnd)
+        if kept:
+            out[cid] = kept
+    return out, dropped
+
+
+def _add_arrivals(pending: dict, arrivals: dict) -> dict:
+    if not arrivals:
+        return pending
+    out = dict(pending)
+    for cid, incoming in arrivals.items():
+        existing = out.get(cid)
+        if existing is None:
+            out[cid] = incoming
+            continue
+        merged: dict[int, int] = dict(existing)
+        for deadline, count in incoming:
+            merged[deadline] = merged.get(deadline, 0) + count
+        out[cid] = tuple(sorted(merged.items()))
+    return out
+
+
+def _execute(pending: dict, config: dict) -> dict:
+    """Each configured copy executes one earliest-deadline job of its color."""
+    out = dict(pending)
+    for cid, copies in config.items():
+        dl_counts = out.get(cid)
+        if not dl_counts:
+            continue
+        remaining = copies
+        kept = []
+        for deadline, count in dl_counts:
+            if remaining <= 0:
+                kept.append((deadline, count))
+                continue
+            take = count if count < remaining else remaining
+            remaining -= take
+            if count - take:
+                kept.append((deadline, count - take))
+        if kept:
+            out[cid] = tuple(kept)
+        else:
+            del out[cid]
+    return out
+
+
+def _candidate_configs(
+    current: ConfigKey,
+    pending: dict,
+    m: int,
+) -> Iterator[tuple[ConfigKey, dict, int]]:
+    """Yield ``(post-config key, post-config counts, copies added)``.
+
+    Candidate colors are nonidle colors and currently-configured colors; a
+    color's multiplicity is capped at ``max(current copies, pending jobs)``
+    (extra idle copies are pure waste).  Feasibility: discarded current
+    copies must be overwritten by added copies.
+    """
+    cur: dict[int, int] = {}
+    for cid in current:
+        cur[cid] = cur.get(cid, 0) + 1
+    colors = sorted(set(cur) | set(pending))
+    caps = []
+    for cid in colors:
+        pend = sum(c for _, c in pending.get(cid, ()))
+        cur_copies = cur.get(cid, 0)
+        cap = min(m, max(cur_copies, min(pend, m)))
+        caps.append(cap)
+
+    num = len(colors)
+    stack: list[int] = [0] * num
+
+    def rec(idx: int, remaining: int) -> Iterator[None]:
+        if idx == num:
+            yield None
+            return
+        cap = caps[idx]
+        limit = cap if cap < remaining else remaining
+        for mult in range(limit + 1):
+            stack[idx] = mult
+            yield from rec(idx + 1, remaining - mult)
+        stack[idx] = 0
+
+    for _ in rec(0, m):
+        added = 0
+        discarded = 0
+        counts: dict[int, int] = {}
+        for idx in range(num):
+            mult = stack[idx]
+            cid = colors[idx]
+            have = cur.get(cid, 0)
+            if mult > have:
+                added += mult - have
+            elif have > mult:
+                discarded += have - mult
+            if mult:
+                counts[cid] = mult
+        if discarded <= added:
+            key_parts = []
+            for idx in range(num):
+                if stack[idx]:
+                    key_parts.extend([colors[idx]] * stack[idx])
+            yield tuple(key_parts), counts, added
+
+
+def optimal_cost(
+    instance: Instance,
+    m: int,
+    max_states: int = 2_000_000,
+) -> int | float:
+    """Exact optimal offline cost with ``m`` resources."""
+    return _solve(instance, m, max_states).cost
+
+
+def optimal_schedule(
+    instance: Instance,
+    m: int,
+    max_states: int = 2_000_000,
+) -> OptimalResult:
+    """Exact optimum plus an explicit schedule achieving it."""
+    return _solve(instance, m, max_states)
+
+
+def _solve(instance: Instance, m: int, max_states: int) -> OptimalResult:
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    sequence = instance.sequence
+    delta = instance.delta
+    horizon = sequence.horizon
+
+    # Intern colors to dense ids (the inner loops only compare ints).
+    all_colors = sorted(sequence.colors(), key=color_sort_key)
+    cid_of: dict[Color, int] = {color: i for i, color in enumerate(all_colors)}
+    color_of: list[Color] = all_colors
+
+    arrivals_by_round: dict[int, dict] = {}
+    for request in sequence:
+        if not len(request):
+            continue
+        per_color: dict[int, dict[int, int]] = defaultdict(dict)
+        for job in request:
+            cid = cid_of[job.color]
+            bucket = per_color[cid]
+            bucket[job.deadline] = bucket.get(job.deadline, 0) + 1
+        arrivals_by_round[request.round] = {
+            cid: tuple(sorted(counts.items())) for cid, counts in per_color.items()
+        }
+
+    memo: dict[tuple, int | float] = {}
+    choice: dict[tuple, ConfigKey] = {}
+
+    def pending_key(pending: dict) -> PendingKey:
+        return tuple(sorted(pending.items()))
+
+    def solve(rnd: int, config: ConfigKey, pending: dict) -> int | float:
+        if rnd == horizon:
+            return sum(c for dl in pending.values() for _, c in dl)
+        key = (rnd, config, pending_key(pending))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_states:
+            raise SearchBudgetExceeded(
+                f"exact solver exceeded {max_states} states on "
+                f"instance {instance.name!r} (m={m})"
+            )
+
+        after_drop, dropped = _apply_drops(pending, rnd)
+        after_arrivals = _add_arrivals(after_drop, arrivals_by_round.get(rnd, {}))
+
+        best = None
+        best_post: ConfigKey = config
+        for post, counts, added in _candidate_configs(config, after_arrivals, m):
+            next_pending = _execute(after_arrivals, counts)
+            sub = solve(rnd + 1, post, next_pending)
+            total = dropped + added * delta + sub
+            if best is None or total < best:
+                best = total
+                best_post = post
+        assert best is not None  # the keep-everything config always exists
+        memo[key] = best
+        choice[key] = best_post
+        return best
+
+    cost = solve(0, (), {})
+
+    # Reconstruct an explicit schedule by replaying the stored decisions
+    # against real job objects.
+    schedule = Schedule(n=m)
+    bank = ResourceBank(m)
+    store = PendingStore()
+    pending: dict = {}
+    config: ConfigKey = ()
+    for rnd in range(horizon):
+        key = (rnd, config, pending_key(pending))
+        after_drop, _ = _apply_drops(pending, rnd)
+        after_arrivals = _add_arrivals(after_drop, arrivals_by_round.get(rnd, {}))
+        post = choice[key]
+        counts: dict[int, int] = {}
+        for cid in post:
+            counts[cid] = counts.get(cid, 0) + 1
+
+        store.drop_expired(rnd)
+        for job in sequence.request(rnd):
+            store.add(job)
+        desired = [color_of[cid] for cid in post]
+        changes = bank.reconfigure_to(desired, rnd)
+        for loc, _, new in changes:
+            schedule.add_reconfig(rnd, loc, new)
+        for loc in range(m):
+            color = bank.color_at(loc)
+            if color is None:
+                continue
+            job = store.execute_one(color)
+            if job is not None:
+                schedule.add_execution(rnd, loc, job.uid)
+
+        pending = _execute(after_arrivals, counts)
+        config = post
+
+    return OptimalResult(
+        instance=instance,
+        m=m,
+        cost=cost,
+        schedule=schedule,
+        states_explored=len(memo),
+    )

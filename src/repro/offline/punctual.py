@@ -1,0 +1,242 @@
+"""Punctualization (Section 5.2, Lemmas 5.1–5.3).
+
+For power-of-two delay bounds, every execution of a job of bound ``p``
+arriving in ``halfBlock(p, i)`` falls in half-block ``i`` (*early*), ``i+1``
+(*punctual*) or ``i+2`` (*late*).  Lemma 5.1 turns an early one-resource
+schedule into a punctual three-resource schedule executing the same jobs at
+``O(1)``-factor reconfiguration cost; Lemma 5.2 is the symmetric statement
+for late schedules; Lemma 5.3 composes them: any ``m``-resource schedule has
+a punctual ``7m``-resource counterpart executing the same jobs.
+
+Construction (per the Lemma 5.1 proof):
+
+- *special* jobs — color ``l`` configured throughout both half-blocks ``i``
+  and ``i+1`` — shift by ``D_l / 2`` onto resource 0, preserving the source
+  schedule's run structure;
+- remaining (*nonspecial*) jobs of each half-block pack into the first free
+  slots of resources 1–2 in the next half-block, processed in ascending
+  order of delay bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.job import BLACK, Color, Job, color_sort_key
+from repro.core.request import RequestSequence
+from repro.core.schedule import Schedule
+
+
+def classify_execution(job: Job, rnd: int) -> str:
+    """``early`` / ``punctual`` / ``late`` per the half-block of execution."""
+    p = job.delay_bound
+    if p == 1:
+        return "punctual"
+    if p % 2 != 0:
+        raise ValueError(f"punctuality needs even delay bounds, got {p}")
+    half = p // 2
+    arrival_hb = job.arrival // half
+    exec_hb = rnd // half
+    offset = exec_hb - arrival_hb
+    if offset == 0:
+        return "early"
+    if offset == 1:
+        return "punctual"
+    if offset == 2:
+        return "late"
+    raise ValueError(
+        f"execution of job {job.uid} in round {rnd} is outside its window"
+    )
+
+
+def split_by_punctuality(
+    schedule: Schedule, sequence: RequestSequence
+) -> dict[str, Schedule]:
+    """Split a schedule's executions into early/punctual/late sub-schedules.
+
+    Each part keeps all reconfigurations (so each part's reconfiguration
+    cost is at most the original's, as in the Lemma 5.3 proof).
+    """
+    jobs = {job.uid: job for job in sequence.jobs()}
+    parts = {kind: Schedule(schedule.n, schedule.speed) for kind in
+             ("early", "punctual", "late")}
+    for part in parts.values():
+        part.reconfigs = list(schedule.reconfigs)
+    for ex in schedule.executions:
+        kind = classify_execution(jobs[ex.uid], ex.round)
+        parts[kind].executions.append(ex)
+    return parts
+
+
+def _color_timeline(schedule: Schedule, n_loc: int, horizon: int) -> list[list[Color]]:
+    colors: list[list[Color]] = [[BLACK] * horizon for _ in range(n_loc)]
+    per_loc: dict[int, list] = defaultdict(list)
+    for rc in schedule.reconfigs:
+        per_loc[rc.location].append(rc)
+    for loc, rcs in per_loc.items():
+        rcs.sort(key=lambda rc: (rc.round, rc.mini))
+        cursor, current = 0, BLACK
+        for rc in rcs:
+            for rnd in range(cursor, min(rc.round, horizon)):
+                colors[loc][rnd] = current
+            current, cursor = rc.new_color, rc.round
+        for rnd in range(cursor, horizon):
+            colors[loc][rnd] = current
+    return colors
+
+
+def _shift_schedule(
+    schedule: Schedule,
+    sequence: RequestSequence,
+    direction: int,
+) -> Schedule:
+    """Core of Lemmas 5.1 (direction=+1) and 5.2 (direction=-1).
+
+    The input must be a one-resource schedule whose executions are all early
+    (direction=+1) or all late (direction=-1); the output is a punctual
+    three-resource schedule executing the same jobs.
+    """
+    if schedule.n != 1:
+        raise ValueError("punctualization operates on one-resource schedules")
+    if schedule.speed != 1:
+        raise ValueError("punctualization operates on uni-speed schedules")
+    jobs = {job.uid: job for job in sequence.jobs()}
+
+    horizon = sequence.horizon
+    colors = _color_timeline(schedule, 1, horizon)[0]
+
+    def configured_throughout(color: Color, start: int, end: int) -> bool:
+        end = min(end, horizon)
+        if start >= end:
+            return False
+        return all(colors[r] == color for r in range(start, end))
+
+    # Identify special executions: color configured throughout the source
+    # half-block and its punctual neighbour.
+    special: list = []
+    nonspecial: list = []
+    for ex in schedule.executions:
+        job = jobs[ex.uid]
+        p = job.delay_bound
+        if p == 1:
+            # Bound-1 executions are punctual by definition; keep in place on
+            # resource 0 (they cannot shift).
+            special.append((ex, 0))
+            continue
+        half = p // 2
+        hb = ex.round // half
+        neighbour = hb + direction
+        lo, hi = min(hb, neighbour), max(hb, neighbour)
+        if configured_throughout(job.color, lo * half, (hi + 1) * half):
+            special.append((ex, direction * half))
+        else:
+            nonspecial.append(ex)
+
+    out = Schedule(n=3)
+    out_colors: list[list[Color]] = [[BLACK] * (horizon + 1) for _ in range(3)]
+
+    # Resource 0: shifted special executions.
+    for ex, shift in special:
+        job = jobs[ex.uid]
+        rnd = ex.round + shift
+        if not (job.arrival <= rnd < job.deadline):
+            raise AssertionError(
+                f"special shift sent job {ex.uid} outside its window"
+            )
+        if out_colors[0][rnd] is not BLACK and out_colors[0][rnd] != job.color:
+            raise AssertionError("special executions collide on resource 0")
+        out_colors[0][rnd] = job.color
+
+    # Resources 1-2: nonspecial jobs, ascending delay bound, packed into the
+    # first free slots of the punctual half-block.
+    def sort_key(ex) -> tuple:
+        job = jobs[ex.uid]
+        half = job.delay_bound // 2
+        return (job.delay_bound, ex.round // half, color_sort_key(job.color), ex.round)
+
+    nonspecial.sort(key=sort_key)
+    occupied: set[tuple[int, int]] = set()
+    exec_plan: list[tuple[int, int, int]] = []
+    for ex, shift in special:
+        exec_plan.append((ex.round + shift, 0, ex.uid))
+
+    for ex in nonspecial:
+        job = jobs[ex.uid]
+        half = job.delay_bound // 2
+        src_hb = ex.round // half
+        dst_hb = src_hb + direction
+        start, end = dst_hb * half, (dst_hb + 1) * half
+        placed = False
+        for res in (1, 2):
+            for rnd in range(start, min(end, horizon)):
+                if (res, rnd) in occupied:
+                    continue
+                occupied.add((res, rnd))
+                out_colors[res][rnd] = job.color
+                exec_plan.append((rnd, res, ex.uid))
+                placed = True
+                break
+            if placed:
+                break
+        if not placed:
+            raise AssertionError(
+                f"no free slot for nonspecial job {ex.uid} in half-block "
+                f"{dst_hb} of bound {job.delay_bound} — capacity argument "
+                "violated (is the input schedule really single-class?)"
+            )
+
+    # Emit reconfigurations from the painted timelines (idle rounds keep the
+    # previous color — repainting only on change).
+    for res in range(3):
+        current: Color = BLACK
+        for rnd in range(horizon):
+            color = out_colors[res][rnd]
+            if color is not BLACK and color != current:
+                out.add_reconfig(rnd, res, color)
+                current = color
+    for rnd, res, uid in exec_plan:
+        out.add_execution(rnd, res, uid)
+    return out
+
+
+def punctualize_early(schedule: Schedule, sequence: RequestSequence) -> Schedule:
+    """Lemma 5.1: early one-resource schedule → punctual three-resource."""
+    return _shift_schedule(schedule, sequence, direction=+1)
+
+
+def punctualize_late(schedule: Schedule, sequence: RequestSequence) -> Schedule:
+    """Lemma 5.2: late one-resource schedule → punctual three-resource."""
+    return _shift_schedule(schedule, sequence, direction=-1)
+
+
+def punctualize(schedule: Schedule, sequence: RequestSequence) -> Schedule:
+    """Lemma 5.3: any one-resource schedule → punctual 7-resource schedule.
+
+    Splits the executions into early / punctual / late parts, punctualizes
+    the early and late parts (3 resources each), and keeps the punctual part
+    as-is (1 resource): 7 resources total, executing exactly the jobs the
+    input executed.  For ``m``-resource inputs, apply per resource.
+    """
+    if schedule.n != 1:
+        raise ValueError(
+            "punctualize takes one-resource schedules; split multi-resource "
+            "schedules per location first"
+        )
+    parts = split_by_punctuality(schedule, sequence)
+    early = punctualize_early(parts["early"], sequence)
+    late = punctualize_late(parts["late"], sequence)
+    out = Schedule(n=7)
+    # resources 0-2: early part; 3: punctual part; 4-6: late part.
+    for rc in early.reconfigs:
+        out.add_reconfig(rc.round, rc.location, rc.new_color, rc.mini)
+    for ex in early.executions:
+        out.add_execution(ex.round, ex.location, ex.uid, ex.mini)
+    for rc in parts["punctual"].reconfigs:
+        out.add_reconfig(rc.round, 3, rc.new_color, rc.mini)
+    for ex in parts["punctual"].executions:
+        out.add_execution(ex.round, 3, ex.uid, ex.mini)
+    for rc in late.reconfigs:
+        out.add_reconfig(rc.round, 4 + rc.location, rc.new_color, rc.mini)
+    for ex in late.executions:
+        out.add_execution(ex.round, 4 + ex.location, ex.uid, ex.mini)
+    return out

@@ -1,0 +1,162 @@
+"""Direct DeltaLRU-EDF for unbatched input (extension, not in the paper).
+
+The Section-3 algorithms assume batched arrivals: their counters, deadlines
+and eligibility flips only act at multiples of ``D_l``.  Fed a raw unbatched
+stream they starve (arrivals off the boundary never advance a counter).
+The paper handles general input through VarBatch, which buys correctness by
+*delaying* every job to a half-block boundary and halving its effective
+bound — a real price on benign traces.
+
+This module is the pragmatic alternative the reduction is compared against
+(ablation A4): the same two-set recency+deadline cache, driven by
+continuous-time analogues of the Section-3 state:
+
+- the counter of ``l`` advances on **every** arrival and wraps at ``Delta``
+  (a wrap is the timestamp event, maturing ``D_l`` rounds later);
+- the deadline of ``l`` is the earliest pending ``l`` deadline (live EDF);
+- ``l`` turns ineligible when it is idle, uncached, and ``D_l`` rounds have
+  passed since its last arrival — the continuous analogue of "eligible and
+  not in the cache at the boundary".
+
+No competitive guarantee is claimed for this policy; A4 measures where it
+wins (benign traces keep their full slack) and the adversarial suite (E1,
+E2) shows the machinery it inherits still protects it there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.job import Color, Job, color_sort_key
+from repro.core.request import Request
+from repro.core.simulator import Policy
+
+
+class _DirectColorState:
+    __slots__ = (
+        "color", "delay_bound", "cnt", "eligible",
+        "last_wrap", "prev_wrap", "last_arrival",
+    )
+
+    def __init__(self, color: Color, delay_bound: int):
+        self.color = color
+        self.delay_bound = delay_bound
+        self.cnt = 0
+        self.eligible = False
+        self.last_wrap: int | None = None
+        self.prev_wrap: int | None = None
+        self.last_arrival = -1
+
+    def timestamp(self, rnd: int) -> int:
+        """Latest wrap that has matured (is at least ``D_l`` rounds old)."""
+        if self.last_wrap is not None and self.last_wrap + self.delay_bound <= rnd:
+            return self.last_wrap
+        if self.prev_wrap is not None and self.prev_wrap + self.delay_bound <= rnd:
+            return self.prev_wrap
+        return 0
+
+
+class DirectLRUEDFPolicy(Policy):
+    """Two-set recency+deadline caching on raw (unbatched) input."""
+
+    def __init__(self, delta: int | float, lru_fraction: float = 0.5, replication: bool = True):
+        if delta <= 0:
+            raise ValueError(f"Delta must be positive, got {delta}")
+        if not (0.0 <= lru_fraction <= 1.0):
+            raise ValueError(f"lru_fraction must be in [0, 1], got {lru_fraction}")
+        self.delta = delta
+        self.lru_fraction = lru_fraction
+        self.replication = replication
+        self.states: dict[Color, _DirectColorState] = {}
+        self.edf_cached: set[Color] = set()
+        self.lru_set: set[Color] = set()
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        if self.replication:
+            if sim.n % 2 != 0:
+                raise ValueError(f"replication requires even n, got {sim.n}")
+            distinct = sim.n // 2
+        else:
+            distinct = sim.n
+        self.distinct_capacity = distinct
+        self.lru_capacity = int(distinct * self.lru_fraction)
+        self.edf_top = distinct - self.lru_capacity
+
+    # -- phase hooks -----------------------------------------------------------
+
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
+        cached = self.sim.bank.is_configured
+        for st in self.states.values():
+            if (
+                st.eligible
+                and not cached(st.color)
+                and self.sim.is_idle(st.color)
+                and st.last_arrival + st.delay_bound <= rnd
+            ):
+                st.eligible = False
+                st.cnt = 0
+
+    def on_arrival_phase(self, rnd: int, request: Request) -> None:
+        for color, jobs in request.by_color().items():
+            st = self.states.get(color)
+            if st is None:
+                st = self.states[color] = _DirectColorState(color, jobs[0].delay_bound)
+            st.last_arrival = rnd
+            st.cnt += len(jobs)
+            if st.cnt >= self.delta:
+                st.cnt %= self.delta
+                st.prev_wrap = st.last_wrap
+                st.last_wrap = rnd
+                st.eligible = True
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def _rank_key(self, rnd: int):
+        def key(color: Color) -> tuple:
+            st = self.states[color]
+            deadline = self.sim.earliest_deadline(color)
+            idle = deadline is None
+            return (
+                1 if idle else 0,
+                deadline if deadline is not None else float("inf"),
+                st.delay_bound,
+                color_sort_key(color),
+            )
+
+        return key
+
+    def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
+        eligible = [c for c, st in self.states.items() if st.eligible]
+        self.lru_set = set(
+            sorted(
+                eligible,
+                key=lambda c: (-self.states[c].timestamp(rnd), color_sort_key(c)),
+            )[: self.lru_capacity]
+        )
+        self.edf_cached -= self.lru_set
+        self.edf_cached = {c for c in self.edf_cached if self.states[c].eligible}
+
+        key = self._rank_key(rnd)
+        non_lru = [c for c in eligible if c not in self.lru_set]
+        ranked = sorted(non_lru, key=key)
+        in_cache = self.lru_set | self.edf_cached
+        for color in ranked[: self.edf_top]:
+            if color not in in_cache and not self.sim.is_idle(color):
+                self.edf_cached.add(color)
+
+        overflow = len(self.lru_set) + len(self.edf_cached) - self.distinct_capacity
+        if overflow > 0:
+            for color in reversed(sorted(self.edf_cached, key=key)):
+                if overflow == 0:
+                    break
+                self.edf_cached.discard(color)
+                overflow -= 1
+
+        chosen = list(self.lru_set) + list(self.edf_cached)
+        if self.replication:
+            desired: list[Color] = []
+            for color in chosen:
+                desired.extend((color, color))
+            return desired
+        return chosen

@@ -1,0 +1,52 @@
+"""Algorithm DeltaLRU (Section 3.1.1).
+
+Reconfiguration scheme: keep the ``n/2`` eligible colors with the most
+recent timestamps in the cache (each cached in two locations per the common
+replication invariant), breaking ties by the consistent color order.
+
+The timestamp of a color only advances once a full delay bound has elapsed
+after a counter-wrapping event, so a color with a deadline far in the future
+is not cached too aggressively.  Appendix A shows this policy is *not*
+resource competitive: it keeps idle recently-stamped colors cached and
+underutilizes the resources (experiment E1 reproduces the construction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.job import Color, Job
+from repro.core.request import Request
+from repro.core.simulator import Policy
+from repro.policies.state import SectionThreeState
+
+
+class DeltaLRUPolicy(Policy):
+    """DeltaLRU with ``n`` resources (``n`` even; replication always on)."""
+
+    def __init__(self, delta: int, track_history: bool = False):
+        self.state = SectionThreeState(delta, track_history=track_history)
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        if sim.n % 2 != 0:
+            raise ValueError(f"DeltaLRU requires an even number of resources, got {sim.n}")
+        self.capacity = sim.n // 2
+
+    # -- phase hooks ------------------------------------------------------------
+
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
+        self.state.on_drop_phase(rnd, dropped, cached=self.sim.bank.is_configured)
+
+    def on_arrival_phase(self, rnd: int, request: Request) -> None:
+        self.state.on_arrival_phase(rnd, request)
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
+        chosen = self.state.lru_order(rnd)[: self.capacity]
+        # Replication invariant: each cached color occupies two locations.
+        desired: list[Color] = []
+        for color in chosen:
+            desired.extend((color, color))
+        return desired

@@ -1,0 +1,151 @@
+"""Algorithm DeltaLRU-EDF (Section 3.1.3) — the paper's core contribution.
+
+The reconfiguration scheme keeps two sets of colors configured:
+
+1. **LRU set** — the ``n/4`` eligible colors with the most recent
+   timestamps (the DeltaLRU scheme run on a quarter of the capacity).
+   These are the *LRU-colors*; a color is an LRU-color exactly while it is
+   cached by this step.
+2. **EDF set** — among the eligible non-LRU colors ranked by the EDF scheme
+   (nonidle first, ascending deadline, ascending delay bound, color order),
+   every *nonidle* color in the top ``n/4`` rankings that is not already
+   cached is brought in; when the ``n/2`` distinct-color capacity is
+   exceeded, the non-LRU cached color with the lowest rank is evicted.
+   This set is stateful, like EDF's cache.
+
+Every cached color is replicated in two locations (common invariant), so the
+``n`` resources hold at most ``n/2`` distinct colors.
+
+Theorem 1: this policy is resource competitive for rate-limited
+``[Delta | 1 | D_l | D_l]`` with power-of-two delay bounds when given
+``n = 8m`` resources.  The intuition: the LRU half prevents thrashing (a
+recently-busy color stays cached through idle gaps), the EDF half prevents
+underutilization (urgent nonidle work is always configured).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.job import Color, Job
+from repro.core.request import Request
+from repro.core.simulator import Policy
+from repro.policies.ranking import eligible_color_rank_key
+from repro.policies.state import SectionThreeState
+
+
+class DeltaLRUEDFPolicy(Policy):
+    """DeltaLRU-EDF with ``n`` resources (``n % 4 == 0``).
+
+    Parameters
+    ----------
+    delta:
+        The reconfiguration cost (drives the counter-wrapping machinery).
+    lru_fraction:
+        Fraction of the *distinct-color capacity* reserved for the LRU set.
+        The paper uses 1/2 (i.e. ``n/4`` of ``n/2``); the ablation benchmark
+        A1 sweeps this.
+    replication:
+        The paper caches every color twice.  Ablation A2 turns this off
+        (capacity becomes ``n`` distinct colors, split by ``lru_fraction``).
+    track_history:
+        Keep full wrap-event history for the super-epoch analysis.
+    """
+
+    def __init__(
+        self,
+        delta: int,
+        lru_fraction: float = 0.5,
+        replication: bool = True,
+        track_history: bool = False,
+    ):
+        if not (0.0 <= lru_fraction <= 1.0):
+            raise ValueError(f"lru_fraction must be in [0, 1], got {lru_fraction}")
+        self.state = SectionThreeState(delta, track_history=track_history)
+        self.lru_fraction = lru_fraction
+        self.replication = replication
+        #: colors currently held by the (stateful) EDF part of the cache.
+        self.edf_cached: set[Color] = set()
+        #: colors currently held by the LRU part (recomputed every round).
+        self.lru_set: set[Color] = set()
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        if self.replication:
+            if sim.n % 4 != 0:
+                raise ValueError(
+                    f"DeltaLRU-EDF requires n divisible by 4, got {sim.n}"
+                )
+            distinct = sim.n // 2
+        else:
+            if sim.n % 2 != 0:
+                raise ValueError(
+                    f"DeltaLRU-EDF without replication requires even n, got {sim.n}"
+                )
+            distinct = sim.n
+        self.distinct_capacity = distinct
+        self.lru_capacity = int(distinct * self.lru_fraction)
+        self.edf_top = distinct - self.lru_capacity
+
+    # -- phase hooks ------------------------------------------------------------
+
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
+        self.state.on_drop_phase(rnd, dropped, cached=self.sim.bank.is_configured)
+
+    def on_arrival_phase(self, rnd: int, request: Request) -> None:
+        self.state.on_arrival_phase(rnd, request)
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
+        # Step 1: the DeltaLRU scheme on the LRU share of the capacity.
+        self.lru_set = set(self.state.lru_order(rnd)[: self.lru_capacity])
+
+        # A color absorbed by the LRU set is an LRU-color; it no longer
+        # occupies an EDF slot.  Colors that left the LRU set are only cached
+        # if the EDF part (re-)holds them.
+        self.edf_cached -= self.lru_set
+        # Eligibility pruning: an uncached color may have turned ineligible
+        # at a boundary; it can no longer be ranked.
+        self.edf_cached = {
+            c for c in self.edf_cached if self.state.states[c].eligible
+        }
+
+        # Step 2: the EDF scheme over eligible non-LRU colors.
+        key = eligible_color_rank_key(self.state, self.sim.is_idle)
+        non_lru_eligible = [
+            c for c in self.state.eligible_colors() if c not in self.lru_set
+        ]
+        ranked = sorted(non_lru_eligible, key=key)
+        in_cache = self.lru_set | self.edf_cached
+        for color in ranked[: self.edf_top]:
+            if color not in in_cache and not self.sim.is_idle(color):
+                self.edf_cached.add(color)
+
+        # Evict lowest-ranked non-LRU colors while over distinct capacity.
+        overflow = len(self.lru_set) + len(self.edf_cached) - self.distinct_capacity
+        if overflow > 0:
+            by_rank = sorted(self.edf_cached, key=key)
+            for color in reversed(by_rank):
+                if overflow == 0:
+                    break
+                self.edf_cached.discard(color)
+                overflow -= 1
+
+        chosen = list(self.lru_set) + list(self.edf_cached)
+        if self.replication:
+            desired: list[Color] = []
+            for color in chosen:
+                desired.extend((color, color))
+            return desired
+        return chosen
+
+    # -- instrumentation --------------------------------------------------------
+
+    @property
+    def num_epochs(self) -> int:
+        return self.state.num_epochs
+
+    @property
+    def ineligible_drops(self) -> int:
+        return self.state.total_ineligible_drops

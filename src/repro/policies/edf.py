@@ -1,0 +1,110 @@
+"""Algorithm EDF (Section 3.1.2) and Seq-EDF / DS-Seq-EDF (Section 3.3).
+
+Reconfiguration scheme of EDF: rank the eligible colors first on idleness
+(nonidle first), then ascending deadlines, ties by increasing delay bound,
+then the consistent color order.  Any nonidle eligible color in the top
+``capacity`` rankings that is not cached is brought in; when the cache is
+over capacity, the cached color with the lowest rank is evicted.  Note the
+cache is *stateful*: colors stay cached until evicted for room.
+
+With the common replication invariant (each cached color in two locations)
+the distinct capacity is ``n/2`` — this is the paper's algorithm EDF.
+Seq-EDF is the same scheme with all ``m`` locations used for distinct colors
+(no replication); DS-Seq-EDF is Seq-EDF run at ``speed=2``.
+
+Appendix B shows EDF thrashes (reconfigures every time a short-delay color
+alternates between idle and nonidle) and is not resource competitive;
+experiment E2 reproduces the construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.job import Color, Job
+from repro.core.request import Request
+from repro.core.simulator import Policy
+from repro.policies.ranking import eligible_color_rank_key
+from repro.policies.state import SectionThreeState
+
+
+class EDFPolicy(Policy):
+    """The paper's EDF (replicated) or Seq-EDF (``replication=False``)."""
+
+    def __init__(
+        self,
+        delta: int,
+        replication: bool = True,
+        track_history: bool = False,
+        gate_eligibility: bool = True,
+    ):
+        self.state = SectionThreeState(
+            delta, track_history=track_history, gate_eligibility=gate_eligibility
+        )
+        self.replication = replication
+        self.cached: set[Color] = set()
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        if self.replication:
+            if sim.n % 2 != 0:
+                raise ValueError(f"EDF with replication requires even n, got {sim.n}")
+            self.capacity = sim.n // 2
+        else:
+            self.capacity = sim.n
+
+    # -- phase hooks ------------------------------------------------------------
+
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
+        self.state.on_drop_phase(rnd, dropped, cached=self.sim.bank.is_configured)
+        # A color evicted earlier that has now become ineligible can never be
+        # ranked again; keep the cached set consistent with eligibility (a
+        # cached color is never made ineligible by the rule, so this only
+        # removes colors whose cache membership was already stale).
+        self.cached = {c for c in self.cached if self.state.states[c].eligible}
+
+    def on_arrival_phase(self, rnd: int, request: Request) -> None:
+        self.state.on_arrival_phase(rnd, request)
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
+        key = eligible_color_rank_key(self.state, self.sim.is_idle)
+        ranked = sorted(self.state.eligible_colors(), key=key)
+        top = ranked[: self.capacity]
+        for color in top:
+            if color not in self.cached and not self.sim.is_idle(color):
+                self.cached.add(color)
+        if len(self.cached) > self.capacity:
+            by_rank = sorted(self.cached, key=key)
+            self.cached = set(by_rank[: self.capacity])
+        if self.replication:
+            desired: list[Color] = []
+            for color in self.cached:
+                desired.extend((color, color))
+            return desired
+        return list(self.cached)
+
+
+class SeqEDFPolicy(EDFPolicy):
+    """Seq-EDF: EDF with all locations holding distinct colors.
+
+    Run at ``speed=2`` in the simulator to obtain DS-Seq-EDF.  By default the
+    eligibility gate is *off* (the Section 3.3 analysis variant, which
+    executes every color — Lemma 3.8 constructs drop-free schedules for nice
+    inputs, which requires ungated execution); pass ``gate_eligibility=True``
+    for the gated flavour.
+    """
+
+    def __init__(
+        self,
+        delta: int,
+        track_history: bool = False,
+        gate_eligibility: bool = False,
+    ):
+        super().__init__(
+            delta,
+            replication=False,
+            track_history=track_history,
+            gate_eligibility=gate_eligibility,
+        )

@@ -1,0 +1,44 @@
+"""The paper's ranking schemes (Section 3.1.2 / 3.3).
+
+Eligible colors are ranked *first on idleness* (nonidle colors first), then
+in ascending order of deadlines (``l.dd``), breaking ties by increasing
+delay bounds, then by the consistent order of colors.  Pending jobs are
+ranked by increasing deadline, then increasing delay bound, then the
+consistent color order (``Job.sort_key`` implements this directly).
+
+Lower keys mean better (higher) rank throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.job import Color, Job, color_sort_key
+from repro.policies.state import SectionThreeState
+
+
+def eligible_color_rank_key(
+    state: SectionThreeState, idle: Callable[[Color], bool]
+) -> Callable[[Color], tuple]:
+    """Key function ranking eligible colors per the paper.
+
+    ``idle(color)`` is the idleness predicate (typically
+    ``simulator.is_idle``).  Sorting eligible colors by the returned key puts
+    the paper's top-ranked color first.
+    """
+
+    def key(color: Color) -> tuple:
+        st = state.states[color]
+        return (
+            1 if idle(color) else 0,
+            st.dd,
+            st.delay_bound,
+            color_sort_key(color),
+        )
+
+    return key
+
+
+def job_rank_key(job: Job) -> tuple:
+    """Pending-job ranking (increasing deadline, delay bound, color order)."""
+    return job.sort_key()

@@ -1,0 +1,44 @@
+"""The paper's layered reductions.
+
+- :mod:`repro.reductions.blocks` — block / half-block arithmetic and batch
+  periods (Sections 3.3, 5.1, 5.3);
+- :mod:`repro.reductions.distribute` — Algorithm Distribute (Section 4.1):
+  batched → rate-limited batched, by splitting colors into sub-colors;
+- :mod:`repro.reductions.varbatch` — Algorithm VarBatch (Section 5.1/5.3):
+  general arrivals → batched arrivals, by half-block delaying;
+- :mod:`repro.reductions.pipeline` — the composed online solvers
+  (``solve_rate_limited`` / ``solve_batched`` / ``solve_online``).
+"""
+
+from repro.reductions.blocks import (
+    batch_period,
+    block_index,
+    block_start,
+    half_block_index,
+    half_block_start,
+    is_power_of_two,
+)
+from repro.reductions.distribute import distribute_sequence, pull_back_schedule
+from repro.reductions.varbatch import varbatch_sequence
+from repro.reductions.pipeline import (
+    PipelineResult,
+    solve_batched,
+    solve_online,
+    solve_rate_limited,
+)
+
+__all__ = [
+    "batch_period",
+    "block_index",
+    "block_start",
+    "half_block_index",
+    "half_block_start",
+    "is_power_of_two",
+    "distribute_sequence",
+    "pull_back_schedule",
+    "varbatch_sequence",
+    "PipelineResult",
+    "solve_rate_limited",
+    "solve_batched",
+    "solve_online",
+]

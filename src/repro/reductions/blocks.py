@@ -1,0 +1,71 @@
+"""Block and half-block arithmetic (Sections 3.3 and 5.1).
+
+For a delay bound ``p``:
+
+- ``block(p, i)`` is the ``p`` rounds starting at ``i * p``;
+- ``halfBlock(p, i)`` is the ``p/2`` rounds starting at ``i * p/2``.
+
+VarBatch (Section 5.1) delays a job of bound ``p`` arriving in
+``halfBlock(p, i)`` to the start of ``halfBlock(p, i+1)`` and restricts its
+execution there, producing a batched instance with delay bound ``p/2``.
+For arbitrary (non power of two) bounds, Section 5.3 uses half-blocks of
+``2**(j-1)`` where ``2**j <= p < 2**(j+1)``, i.e. a batch period of
+``2**(j-2)``; :func:`batch_period` encodes the resulting per-bound period,
+clamped to 1 for tiny bounds.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def block_start(p: int, i: int) -> int:
+    """First round of ``block(p, i)``."""
+    return i * p
+
+
+def block_index(p: int, rnd: int) -> int:
+    """Index ``i`` with ``rnd`` inside ``block(p, i)``."""
+    return rnd // p
+
+
+def half_block_start(p: int, i: int) -> int:
+    """First round of ``halfBlock(p, i)`` (``p`` must be even)."""
+    if p % 2 != 0:
+        raise ValueError(f"half-blocks require an even delay bound, got {p}")
+    return i * (p // 2)
+
+
+def half_block_index(p: int, rnd: int) -> int:
+    """Index ``i`` with ``rnd`` inside ``halfBlock(p, i)``."""
+    if p % 2 != 0:
+        raise ValueError(f"half-blocks require an even delay bound, got {p}")
+    return rnd // (p // 2)
+
+
+def batch_period(delay_bound: int) -> int:
+    """The VarBatch batch period ``B`` for a job of the given delay bound.
+
+    The derived job arrives at the first multiple of ``B`` after its true
+    arrival and must execute within ``B`` rounds, so correctness requires
+    ``2 * B <= delay_bound`` (delay at most ``B``, execution within ``B``
+    more).  We return:
+
+    - ``delay_bound // 2`` for power-of-two bounds >= 2 (Section 5.1);
+    - ``2 ** (floor(log2 p) - 2)`` for other bounds (Section 5.3), which
+      satisfies ``2B = 2**(j-1) <= p`` since ``p >= 2**j``;
+    - 1 for bounds 1, 2 and 3 (a period below one round is meaningless; with
+      ``B = 1`` a job of bound >= 2 is delayed at most one round and executes
+      the next, within any bound >= 2; bound-1 jobs are handled upstream by
+      VarBatch, which passes them through unchanged).
+    """
+    if delay_bound < 1:
+        raise ValueError(f"delay bound must be positive, got {delay_bound}")
+    if delay_bound <= 3:
+        return 1
+    if is_power_of_two(delay_bound):
+        return delay_bound // 2
+    return max(1, 1 << (delay_bound.bit_length() - 3))

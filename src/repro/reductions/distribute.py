@@ -1,0 +1,109 @@
+"""Algorithm Distribute (Section 4.1).
+
+Reduces ``[Delta | 1 | D_l | D_l]`` (batched arrivals of unbounded size) to
+rate-limited ``[Delta | 1 | D_l | D_l]`` (at most ``D_l`` jobs per batch):
+
+1. **Split**: in each request, rank the color-``l`` jobs arbitrarily (we use
+   uid order for determinism) and recolor job ``x`` to the sub-color
+   ``(l, j)`` with ``j = rank(x) // D_l``.  Every sub-color then receives at
+   most ``D_l`` jobs per batch, and inherits arrival round and delay bound —
+   a rate-limited instance.
+2. **Solve**: run DeltaLRU-EDF on the transformed instance.
+3. **Pull back**: whenever the inner schedule configures ``(l, j)``,
+   configure ``l``; whenever it executes an ``(l, j)`` job, execute the
+   original color-``l`` job it was derived from.  Lemma 4.2: the pulled-back
+   schedule costs at most as much (consecutive sub-colors of the same parent
+   collapse into free no-op reconfigurations).
+
+The split is causal (each request is transformed independently), so the
+composition remains an online algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.job import BLACK, Color, Job
+from repro.core.request import RequestSequence
+from repro.core.schedule import Schedule
+
+
+def distribute_sequence(sequence: RequestSequence) -> RequestSequence:
+    """Transform a batched sequence into its rate-limited split.
+
+    Raises ``ValueError`` if the input is not batched (jobs of color ``l``
+    must arrive at multiples of ``D_l``) — the reduction is only defined
+    there.
+    """
+    out: list[Job] = []
+    for request in sequence:
+        for color, jobs in sorted(
+            request.by_color().items(), key=lambda kv: _stable(kv[0])
+        ):
+            bound = jobs[0].delay_bound
+            if request.round % bound != 0:
+                raise ValueError(
+                    f"Distribute needs batched input: color {color!r} job in "
+                    f"round {request.round} with bound {bound}"
+                )
+            ranked = sorted(jobs, key=lambda j: j.uid)
+            for rank, job in enumerate(ranked):
+                sub = rank // bound
+                out.append(job.derived(color=(color, sub)))
+    return RequestSequence(out, horizon=sequence.horizon)
+
+
+def _stable(color: Color):
+    from repro.core.job import color_sort_key
+
+    return color_sort_key(color)
+
+
+def parent_color(color: Color) -> Color:
+    """Recover ``l`` from a sub-color ``(l, j)``."""
+    if not (isinstance(color, tuple) and len(color) == 2):
+        raise ValueError(f"{color!r} is not a Distribute sub-color")
+    return color[0]
+
+
+def pull_back_schedule(
+    inner: Schedule,
+    transformed: RequestSequence,
+    original: RequestSequence,
+) -> Schedule:
+    """Map a schedule for the split instance back to the original instance.
+
+    - every execution of a derived job becomes an execution of its origin;
+    - every reconfiguration to ``(l, j)`` becomes a reconfiguration to ``l``,
+      except that reconfigurations which no longer change the location's
+      color (e.g. ``(l, 0) -> (l, 1)``) are dropped — this is exactly why
+      Lemma 4.2 says "at most".
+    """
+    origin_of: dict[int, int] = {}
+    for job in transformed.jobs():
+        if job.origin is None:
+            raise ValueError(f"transformed job {job.uid} has no origin")
+        origin_of[job.uid] = job.origin
+    valid_uids = {job.uid for job in original.jobs()}
+
+    out = Schedule(n=inner.n, speed=inner.speed)
+
+    # Replay reconfigurations per location in time order, collapsing no-ops.
+    per_location: dict[int, list] = defaultdict(list)
+    for rc in inner.reconfigs:
+        per_location[rc.location].append(rc)
+    for location, rcs in per_location.items():
+        rcs.sort(key=lambda rc: (rc.round, rc.mini))
+        current: Color = BLACK
+        for rc in rcs:
+            mapped = parent_color(rc.new_color) if rc.new_color is not BLACK else BLACK
+            if mapped != current:
+                out.add_reconfig(rc.round, location, mapped, rc.mini)
+                current = mapped
+
+    for ex in inner.executions:
+        uid = origin_of.get(ex.uid)
+        if uid is None or uid not in valid_uids:
+            raise ValueError(f"execution of unknown derived job {ex.uid}")
+        out.add_execution(ex.round, ex.location, uid, ex.mini)
+    return out

@@ -1,0 +1,85 @@
+"""Algorithm VarBatch (Sections 5.1 and 5.3).
+
+Reduces the general problem ``[Delta | 1 | D_l | 1]`` to the batched problem
+``[Delta | 1 | B_l | B_l]`` where ``B_l`` is the per-bound batch period of
+:func:`repro.reductions.blocks.batch_period`:
+
+- a job of delay bound ``p`` arriving at round ``t`` inside half-block ``i``
+  (of period ``B``) is *delayed* to round ``(i + 1) * B`` and its execution
+  is restricted to the following ``B`` rounds — i.e. the derived job has
+  arrival ``(i + 1) * B`` and delay bound ``B``;
+- bound-1 jobs are already batched (period 1) and pass through unchanged.
+
+Correctness: the derived window ``[(i+1)B, (i+2)B)`` sits inside the true
+window ``[t, t+p)`` because ``t < (i+1)B`` and ``(i+2)B <= t + p`` (using
+``t >= iB`` and ``2B <= p``).  So any schedule for the derived instance is,
+job-for-job, a valid schedule for the original — the pull-back only rewrites
+job uids, never rounds or colors.
+
+Theorem 3: composing VarBatch with Distribute and DeltaLRU-EDF gives a
+resource-competitive online algorithm for the general problem.
+"""
+
+from __future__ import annotations
+
+from repro.core.job import Job
+from repro.core.request import RequestSequence
+from repro.core.schedule import Schedule
+from repro.reductions.blocks import batch_period
+
+
+def varbatch_sequence(sequence: RequestSequence) -> RequestSequence:
+    """Delay every job to its next half-block boundary.
+
+    The result is a batched sequence: the derived color-``l`` jobs arrive at
+    multiples of their derived delay bound ``B_l``.  Derived jobs carry
+    ``origin`` pointers to the native jobs.
+    """
+    out: list[Job] = []
+    max_deadline = 0
+    for job in sequence.jobs():
+        if job.delay_bound == 1:
+            # Already batched at period 1; no transformation needed (and a
+            # delay would make the job infeasible).
+            derived = job.derived()
+        else:
+            period = batch_period(job.delay_bound)
+            index = job.arrival // period
+            derived = job.derived(arrival=(index + 1) * period, delay_bound=period)
+            if derived.deadline > job.deadline:
+                raise AssertionError(
+                    f"VarBatch produced an infeasible window for job {job.uid}: "
+                    f"derived deadline {derived.deadline} > true deadline {job.deadline}"
+                )
+        out.append(derived)
+        max_deadline = max(max_deadline, derived.deadline)
+    horizon = max(sequence.horizon, max_deadline + 1 if out else 0)
+    return RequestSequence(out, horizon=horizon)
+
+
+def pull_back_schedule(
+    inner: Schedule,
+    transformed: RequestSequence,
+    original: RequestSequence,
+) -> Schedule:
+    """Rewrite derived-job executions as native-job executions.
+
+    Colors are untouched by VarBatch, so reconfigurations carry over
+    verbatim; every execution round of a derived job lies inside the native
+    job's window by construction.
+    """
+    origin_of: dict[int, int] = {}
+    for job in transformed.jobs():
+        if job.origin is None:
+            raise ValueError(f"transformed job {job.uid} has no origin")
+        origin_of[job.uid] = job.origin
+    valid_uids = {job.uid for job in original.jobs()}
+
+    out = Schedule(n=inner.n, speed=inner.speed)
+    out.reconfigs = list(inner.reconfigs)
+    for ex in inner.executions:
+        uid = origin_of.get(ex.uid)
+        if uid is None or uid not in valid_uids:
+            raise ValueError(f"execution of unknown derived job {ex.uid}")
+        out.add_execution(ex.round, ex.location, uid, ex.mini)
+    return out

@@ -1,0 +1,71 @@
+"""Seeded synthetic workload generators.
+
+The paper contains no empirical evaluation, so these generators are the
+reproduction's substitute testbed (documented in DESIGN.md §4):
+
+- :mod:`repro.workloads.generators` — random batched / rate-limited /
+  Poisson / bursty on-off workloads;
+- :mod:`repro.workloads.adversarial` — the exact Appendix A (anti-DeltaLRU)
+  and Appendix B (anti-EDF) constructions, with the offline strategies the
+  appendices describe, expressed as explicit verifiable schedules;
+- :mod:`repro.workloads.scenarios` — the introduction's motivating
+  scenarios (background + short-term jobs; shared data center; multi-service
+  router).
+
+All generators take an integer ``seed`` and are fully deterministic.
+"""
+
+from repro.workloads.generators import (
+    batched_workload,
+    bursty_workload,
+    poisson_workload,
+    rate_limited_workload,
+    uniform_workload,
+)
+from repro.workloads.adversarial import (
+    anti_dlru_instance,
+    anti_dlru_offline_schedule,
+    anti_edf_instance,
+    anti_edf_offline_schedule,
+)
+from repro.workloads.scenarios import (
+    background_shortterm_instance,
+    datacenter_workload,
+    router_workload,
+)
+from repro.workloads.arrivals import flash_crowd_workload, mmpp_workload
+from repro.workloads.composite import concat, merge, shift
+from repro.workloads.trace import (
+    instance_from_csv,
+    instance_from_json,
+    instance_to_json,
+    load_csv,
+    load_instance,
+    save_instance,
+)
+
+__all__ = [
+    "batched_workload",
+    "rate_limited_workload",
+    "poisson_workload",
+    "bursty_workload",
+    "uniform_workload",
+    "anti_dlru_instance",
+    "anti_dlru_offline_schedule",
+    "anti_edf_instance",
+    "anti_edf_offline_schedule",
+    "background_shortterm_instance",
+    "datacenter_workload",
+    "router_workload",
+    "flash_crowd_workload",
+    "mmpp_workload",
+    "concat",
+    "merge",
+    "shift",
+    "instance_from_csv",
+    "instance_from_json",
+    "instance_to_json",
+    "load_csv",
+    "load_instance",
+    "save_instance",
+]

@@ -1,0 +1,179 @@
+"""The appendix adversaries, reproduced exactly.
+
+Appendix A shows DeltaLRU is not constant competitive even with a
+nonconstant resource advantage; Appendix B shows the same for EDF.  Both
+appendices also describe the offline strategy that beats the online
+algorithm — we emit those strategies as explicit, independently-verifiable
+:class:`repro.core.schedule.Schedule` objects, so the experiments report
+*true* (validated) offline costs rather than closed-form claims.
+"""
+
+from __future__ import annotations
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import Schedule
+
+#: color ids used by the constructions (shorts are 0..num_short-1).
+LONG_COLOR_OFFSET = 10_000
+
+
+def anti_dlru_instance(
+    n: int,
+    j: int,
+    k: int,
+    delta: int,
+    strict: bool = True,
+) -> Instance:
+    """Appendix A construction (defeats DeltaLRU with ``n`` resources).
+
+    ``n/2`` *short-term* colors of delay bound ``2**j`` receive ``delta``
+    jobs at every multiple of ``2**j``; one *long-term* color of bound
+    ``2**k`` receives ``2**k`` jobs at round 0.  The input spans ``2**k``
+    rounds.  Constraint (Appendix A): ``2**k > 2**(j+1) > n * delta``.
+
+    DeltaLRU caches the short colors (their timestamps are always at least
+    as recent) and drops every long job; the offline schedule of
+    :func:`anti_dlru_offline_schedule` caches the long color on a single
+    resource throughout, paying one reconfiguration and dropping only the
+    short jobs.
+    """
+    if n % 2 != 0 or n < 2:
+        raise ValueError(f"n must be even and >= 2, got {n}")
+    if strict:
+        if not (2 ** k > 2 ** (j + 1)):
+            raise ValueError(f"need 2^k > 2^(j+1): k={k}, j={j}")
+        if not (2 ** (j + 1) > n * delta):
+            raise ValueError(f"need 2^(j+1) > n*delta: j={j}, n={n}, delta={delta}")
+    short_bound, long_bound = 2 ** j, 2 ** k
+    num_short = n // 2
+    long_color = LONG_COLOR_OFFSET
+    jobs: list[Job] = []
+    for start in range(0, long_bound, short_bound):
+        for color in range(num_short):
+            jobs.extend(
+                Job(color=color, arrival=start, delay_bound=short_bound)
+                for _ in range(delta)
+            )
+    jobs.extend(
+        Job(color=long_color, arrival=0, delay_bound=long_bound)
+        for _ in range(long_bound)
+    )
+    seq = RequestSequence(jobs, horizon=long_bound + 1)
+    return Instance(
+        seq,
+        delta,
+        name=f"anti-dlru(n={n},j={j},k={k})",
+        metadata={"n": n, "j": j, "k": k, "num_short": num_short,
+                  "long_color": long_color},
+    )
+
+
+def anti_dlru_offline_schedule(instance: Instance) -> Schedule:
+    """Appendix A's offline strategy: one resource, long color throughout."""
+    meta = instance.metadata
+    long_color = meta["long_color"]
+    long_bound = 2 ** meta["k"]
+    long_jobs = sorted(
+        (job for job in instance.sequence.jobs() if job.color == long_color),
+        key=lambda job: job.uid,
+    )
+    schedule = Schedule(n=1)
+    schedule.add_reconfig(0, 0, long_color)
+    for rnd, job in enumerate(long_jobs[:long_bound]):
+        schedule.add_execution(rnd, 0, job.uid)
+    return schedule
+
+
+def anti_edf_instance(
+    n: int,
+    j: int,
+    k: int,
+    delta: int,
+    strict: bool = True,
+) -> Instance:
+    """Appendix B construction (defeats EDF with ``n`` resources).
+
+    ``n/2 + 1`` colors: one of bound ``2**j`` receiving ``delta`` jobs at
+    every multiple of ``2**j`` before round ``2**(k-1)``, and for each
+    ``0 <= p < n/2`` a color of bound ``2**(k+p)`` receiving ``2**(k+p-1)``
+    jobs at round 0.  The input spans ``2**(k + n/2 - 1)`` rounds.
+    Constraint (Appendix B): ``2**k > 2**j > delta > n``.
+
+    EDF repeatedly evicts and recaches the long-bound colors as the short
+    color alternates between idle and nonidle, paying about
+    ``2**(k-j-1) * Delta`` in reconfigurations; the offline schedule of
+    :func:`anti_edf_offline_schedule` serves everything with ``n/2 + 1``
+    reconfigurations on one resource and zero drops.
+    """
+    if n % 2 != 0 or n < 2:
+        raise ValueError(f"n must be even and >= 2, got {n}")
+    if strict:
+        if not (2 ** k > 2 ** j):
+            raise ValueError(f"need 2^k > 2^j: k={k}, j={j}")
+        if not (2 ** j > delta):
+            raise ValueError(f"need 2^j > delta: j={j}, delta={delta}")
+        if not (delta > n):
+            raise ValueError(f"need delta > n: delta={delta}, n={n}")
+    short_bound = 2 ** j
+    half = n // 2
+    horizon = 2 ** (k + half - 1)
+    short_color = 0
+    jobs: list[Job] = []
+    for start in range(0, 2 ** (k - 1), short_bound):
+        jobs.extend(
+            Job(color=short_color, arrival=start, delay_bound=short_bound)
+            for _ in range(delta)
+        )
+    for p in range(half):
+        bound = 2 ** (k + p)
+        color = LONG_COLOR_OFFSET + p
+        jobs.extend(
+            Job(color=color, arrival=0, delay_bound=bound)
+            for _ in range(2 ** (k + p - 1))
+        )
+    seq = RequestSequence(jobs, horizon=horizon + 1)
+    return Instance(
+        seq,
+        delta,
+        name=f"anti-edf(n={n},j={j},k={k})",
+        metadata={"n": n, "j": j, "k": k, "half": half,
+                  "short_color": short_color},
+    )
+
+
+def anti_edf_offline_schedule(instance: Instance) -> Schedule:
+    """Appendix B's offline strategy: one resource, zero drops.
+
+    Cache the short color during rounds ``[0, 2**(k-1))`` (executing each
+    batch of ``delta`` jobs as it arrives), then color ``2**(k+p)`` during
+    rounds ``[2**(k+p-1), 2**(k+p))`` for each ``p``.
+    """
+    meta = instance.metadata
+    j, k, half = meta["j"], meta["k"], meta["half"]
+    short_color = meta["short_color"]
+    short_bound = 2 ** j
+
+    by_color: dict = {}
+    for job in instance.sequence.jobs():
+        by_color.setdefault(job.color, []).append(job)
+    for jobs in by_color.values():
+        jobs.sort(key=lambda job: (job.arrival, job.uid))
+
+    schedule = Schedule(n=1)
+    schedule.add_reconfig(0, 0, short_color)
+    short_jobs = by_color.get(short_color, [])
+    idx = 0
+    for start in range(0, 2 ** (k - 1), short_bound):
+        offset = 0
+        while idx < len(short_jobs) and short_jobs[idx].arrival == start:
+            schedule.add_execution(start + offset, 0, short_jobs[idx].uid)
+            idx += 1
+            offset += 1
+    for p in range(half):
+        color = LONG_COLOR_OFFSET + p
+        begin = 2 ** (k + p - 1)
+        schedule.add_reconfig(begin, 0, color)
+        for offset, job in enumerate(by_color.get(color, [])):
+            schedule.add_execution(begin + offset, 0, job.uid)
+    return schedule

@@ -1,0 +1,104 @@
+"""Richer arrival processes.
+
+Two traffic models common in the systems literature the paper cites, both
+seeded and deterministic:
+
+- :func:`mmpp_workload` — Markov-modulated Poisson arrivals: each color's
+  rate is driven by a small hidden Markov chain (calm / busy / surge
+  states), producing realistic autocorrelated burstiness with controllable
+  state dwell times;
+- :func:`flash_crowd_workload` — a steady Poisson floor on every color plus
+  one color that experiences a sudden sustained surge (the "flash crowd" /
+  breaking-news pattern that forces a data center to reallocate processors
+  quickly and then give them back).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+
+
+def mmpp_workload(
+    num_colors: int = 6,
+    horizon: int = 512,
+    delta: int = 4,
+    seed: int = 0,
+    rates: tuple[float, ...] = (0.05, 0.5, 2.0),
+    dwell: float = 32.0,
+    min_exp: int = 1,
+    max_exp: int = 4,
+    name: str = "mmpp",
+) -> Instance:
+    """Markov-modulated Poisson arrivals per color.
+
+    Each color runs an independent Markov chain over ``len(rates)`` states;
+    at each round it leaves its state with probability ``1/dwell`` (uniform
+    next state), and emits Poisson(rates[state]) jobs.
+    """
+    if not rates:
+        raise ValueError("need at least one rate state")
+    if dwell < 1:
+        raise ValueError(f"dwell must be >= 1, got {dwell}")
+    rng = np.random.default_rng(seed)
+    bounds = [1 << int(e) for e in rng.integers(min_exp, max_exp + 1, size=num_colors)]
+    states = rng.integers(0, len(rates), size=num_colors)
+    jobs: list[Job] = []
+    leave_p = 1.0 / dwell
+    for rnd in range(horizon):
+        moves = rng.random(num_colors) < leave_p
+        for color in range(num_colors):
+            if moves[color]:
+                states[color] = rng.integers(0, len(rates))
+            count = int(rng.poisson(rates[int(states[color])]))
+            for _ in range(count):
+                jobs.append(Job(color=color, arrival=rnd, delay_bound=bounds[color]))
+    return Instance(
+        RequestSequence(jobs), delta, name=name,
+        metadata={"seed": seed, "rates": list(rates), "dwell": dwell,
+                  "bounds": bounds},
+    )
+
+
+def flash_crowd_workload(
+    num_colors: int = 8,
+    horizon: int = 512,
+    delta: int = 4,
+    seed: int = 0,
+    base_rate: float = 0.2,
+    surge_color: int = 0,
+    surge_rate: float = 4.0,
+    surge_start: float = 0.3,
+    surge_length: float = 0.2,
+    min_exp: int = 2,
+    max_exp: int = 4,
+    name: str = "flash-crowd",
+) -> Instance:
+    """A steady floor plus one sustained surge.
+
+    ``surge_start`` and ``surge_length`` are fractions of the horizon; the
+    surge color's rate steps from ``base_rate`` to ``surge_rate`` for the
+    surge window and back.
+    """
+    if not (0 <= surge_color < num_colors):
+        raise ValueError(f"surge_color {surge_color} out of range")
+    rng = np.random.default_rng(seed)
+    bounds = [1 << int(e) for e in rng.integers(min_exp, max_exp + 1, size=num_colors)]
+    begin = int(horizon * surge_start)
+    end = min(horizon, begin + int(horizon * surge_length))
+    jobs: list[Job] = []
+    for rnd in range(horizon):
+        for color in range(num_colors):
+            rate = base_rate
+            if color == surge_color and begin <= rnd < end:
+                rate = surge_rate
+            count = int(rng.poisson(rate))
+            for _ in range(count):
+                jobs.append(Job(color=color, arrival=rnd, delay_bound=bounds[color]))
+    return Instance(
+        RequestSequence(jobs), delta, name=name,
+        metadata={"seed": seed, "surge_color": surge_color,
+                  "surge_window": (begin, end), "bounds": bounds},
+    )

@@ -1,0 +1,196 @@
+"""Random workload generators.
+
+Every generator returns an :class:`repro.core.request.Instance` and is
+deterministic in its ``seed``.  Delay bounds are powers of two by default
+(the setting of Theorems 1 and 2); pass ``power_of_two=False`` where
+supported to exercise the Section 5.3 extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _pick_bounds(
+    rng: np.random.Generator,
+    num_colors: int,
+    min_exp: int,
+    max_exp: int,
+    power_of_two: bool,
+) -> list[int]:
+    if power_of_two:
+        exps = rng.integers(min_exp, max_exp + 1, size=num_colors)
+        return [1 << int(e) for e in exps]
+    lo, hi = 1 << min_exp, 1 << max_exp
+    return [int(b) for b in rng.integers(lo, hi + 1, size=num_colors)]
+
+
+def rate_limited_workload(
+    num_colors: int = 6,
+    horizon: int = 256,
+    delta: int = 4,
+    seed: int = 0,
+    min_exp: int = 1,
+    max_exp: int = 4,
+    load: float = 0.7,
+    name: str = "rate-limited",
+) -> Instance:
+    """Rate-limited batched workload (the Theorem 1 setting).
+
+    Color ``l`` (delay bound ``D_l = 2**e``) receives, at every multiple of
+    ``D_l``, a Binomial(D_l, load) number of jobs — never more than ``D_l``,
+    so the instance is rate-limited by construction.
+    """
+    rng = _rng(seed)
+    bounds = _pick_bounds(rng, num_colors, min_exp, max_exp, power_of_two=True)
+    jobs: list[Job] = []
+    for color, bound in enumerate(bounds):
+        for start in range(0, horizon, bound):
+            count = int(rng.binomial(bound, load))
+            jobs.extend(
+                Job(color=color, arrival=start, delay_bound=bound)
+                for _ in range(count)
+            )
+    seq = RequestSequence(jobs, horizon=max(horizon, _needed_horizon(jobs)))
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_colors": num_colors, "load": load, "bounds": bounds,
+    })
+
+
+def batched_workload(
+    num_colors: int = 6,
+    horizon: int = 256,
+    delta: int = 4,
+    seed: int = 0,
+    min_exp: int = 1,
+    max_exp: int = 4,
+    mean_batch: float = 3.0,
+    burst_factor: float = 4.0,
+    name: str = "batched",
+) -> Instance:
+    """Batched (not rate-limited) workload: batch sizes can exceed ``D_l``.
+
+    Batch sizes are Poisson(mean_batch * D_l) with occasional bursts of
+    ``burst_factor`` times the mean, so the Distribute reduction has real
+    work to do.
+    """
+    rng = _rng(seed)
+    bounds = _pick_bounds(rng, num_colors, min_exp, max_exp, power_of_two=True)
+    jobs: list[Job] = []
+    for color, bound in enumerate(bounds):
+        for start in range(0, horizon, bound):
+            mean = mean_batch * bound
+            if rng.random() < 0.15:
+                mean *= burst_factor
+            count = int(rng.poisson(mean))
+            jobs.extend(
+                Job(color=color, arrival=start, delay_bound=bound)
+                for _ in range(count)
+            )
+    seq = RequestSequence(jobs, horizon=max(horizon, _needed_horizon(jobs)))
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_colors": num_colors, "bounds": bounds,
+    })
+
+
+def poisson_workload(
+    num_colors: int = 8,
+    horizon: int = 512,
+    delta: int = 4,
+    seed: int = 0,
+    rate: float = 0.5,
+    min_exp: int = 1,
+    max_exp: int = 5,
+    power_of_two: bool = True,
+    name: str = "poisson",
+) -> Instance:
+    """General (unbatched) arrivals: per round, per color, Poisson(rate)."""
+    rng = _rng(seed)
+    bounds = _pick_bounds(rng, num_colors, min_exp, max_exp, power_of_two)
+    jobs: list[Job] = []
+    counts = rng.poisson(rate, size=(horizon, num_colors))
+    for rnd in range(horizon):
+        for color in range(num_colors):
+            for _ in range(int(counts[rnd, color])):
+                jobs.append(Job(color=color, arrival=rnd, delay_bound=bounds[color]))
+    seq = RequestSequence(jobs, horizon=max(horizon, _needed_horizon(jobs)))
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_colors": num_colors, "rate": rate, "bounds": bounds,
+    })
+
+
+def bursty_workload(
+    num_colors: int = 8,
+    horizon: int = 512,
+    delta: int = 4,
+    seed: int = 0,
+    burst_rate: float = 2.0,
+    mean_on: float = 16.0,
+    mean_off: float = 48.0,
+    min_exp: int = 1,
+    max_exp: int = 5,
+    power_of_two: bool = True,
+    name: str = "bursty",
+) -> Instance:
+    """On-off (bursty) arrivals per color.
+
+    Each color alternates between an *on* state (Poisson(burst_rate) jobs per
+    round) and an *off* state (nothing), with geometric state durations —
+    the fluctuating-demand pattern the introduction's data center and router
+    applications describe.
+    """
+    rng = _rng(seed)
+    bounds = _pick_bounds(rng, num_colors, min_exp, max_exp, power_of_two)
+    jobs: list[Job] = []
+    for color in range(num_colors):
+        on = bool(rng.random() < mean_on / (mean_on + mean_off))
+        remaining = int(rng.geometric(1.0 / (mean_on if on else mean_off)))
+        for rnd in range(horizon):
+            if remaining == 0:
+                on = not on
+                remaining = int(rng.geometric(1.0 / (mean_on if on else mean_off)))
+            remaining -= 1
+            if on:
+                for _ in range(int(rng.poisson(burst_rate))):
+                    jobs.append(Job(color=color, arrival=rnd, delay_bound=bounds[color]))
+    seq = RequestSequence(jobs, horizon=max(horizon, _needed_horizon(jobs)))
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_colors": num_colors, "bounds": bounds,
+    })
+
+
+def uniform_workload(
+    num_colors: int = 4,
+    horizon: int = 64,
+    delta: int = 2,
+    seed: int = 0,
+    jobs_per_round: int = 2,
+    min_exp: int = 0,
+    max_exp: int = 3,
+    power_of_two: bool = True,
+    name: str = "uniform",
+) -> Instance:
+    """Small, dense uniform workload — the default for exact-OPT comparisons."""
+    rng = _rng(seed)
+    bounds = _pick_bounds(rng, num_colors, min_exp, max_exp, power_of_two)
+    jobs: list[Job] = []
+    for rnd in range(horizon):
+        colors = rng.integers(0, num_colors, size=jobs_per_round)
+        for color in colors:
+            c = int(color)
+            jobs.append(Job(color=c, arrival=rnd, delay_bound=bounds[c]))
+    seq = RequestSequence(jobs, horizon=max(horizon, _needed_horizon(jobs)))
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_colors": num_colors, "bounds": bounds,
+    })
+
+
+def _needed_horizon(jobs: list[Job]) -> int:
+    return max((job.deadline for job in jobs), default=0) + 1

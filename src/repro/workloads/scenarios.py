@@ -1,0 +1,141 @@
+"""The introduction's motivating scenarios.
+
+- :func:`background_shortterm_instance` — the thrashing-vs-underutilization
+  dilemma of Section 1: long-deadline background work plus intermittently
+  arriving short-term jobs on few resources;
+- :func:`datacenter_workload` — a shared data center whose services' demand
+  shares drift over time (Chandra et al. / Chase et al. citations);
+- :func:`router_workload` — a multi-service router with heavy-tailed packet
+  bursts per service class (Kokku et al. / Spalink et al. citations).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+
+
+def background_shortterm_instance(
+    delta: int = 4,
+    num_short: int = 24,
+    short_bound: int = 16,
+    long_bound: int = 1024,
+    burst_jobs: int = 16,
+    quiet_after: int = 512,
+    background_jobs: int = 512,
+    name: str = "background-shortterm",
+) -> Instance:
+    """Background jobs with far deadlines plus rotating short-term bursts.
+
+    ``num_short`` short-term colors (bound ``short_bound``) take turns
+    bursting: color ``s`` receives ``burst_jobs`` jobs at every multiple
+    ``t`` of ``short_bound`` with ``(t / short_bound) % num_short == s``,
+    until ``quiet_after``; afterwards a long quiet interval follows in which
+    all background work (color ``num_short``, bound ``long_bound``) could
+    run with a single reconfiguration.  A policy that grabs every idle cycle
+    for background work thrashes; one that pins a static partition cannot
+    cover the rotating short colors plus the background color.
+    Deterministic; batched (all arrivals at multiples of the bounds).
+    """
+    jobs: list[Job] = []
+    background_color = num_short
+    jobs.extend(
+        Job(color=background_color, arrival=0, delay_bound=long_bound)
+        for _ in range(background_jobs)
+    )
+    start = 0
+    while start < quiet_after:
+        color = (start // short_bound) % num_short
+        jobs.extend(
+            Job(color=color, arrival=start, delay_bound=short_bound)
+            for _ in range(burst_jobs)
+        )
+        start += short_bound
+    seq = RequestSequence(jobs)
+    return Instance(seq, delta, name=name, metadata={
+        "num_short": num_short, "short_bound": short_bound,
+        "long_bound": long_bound, "quiet_after": quiet_after,
+        "background_color": background_color,
+    })
+
+
+def datacenter_workload(
+    num_services: int = 8,
+    horizon: int = 1024,
+    delta: int = 8,
+    seed: int = 0,
+    total_rate: float = 4.0,
+    drift_period: float = 256.0,
+    min_exp: int = 2,
+    max_exp: int = 6,
+    name: str = "datacenter",
+) -> Instance:
+    """Shared data center: service demand shares drift sinusoidally.
+
+    The total arrival rate is constant but each service's share oscillates
+    with its own phase, so the set of hot services changes continuously —
+    the dynamic-reallocation setting of the introduction.  Delay bounds are
+    per-service SLOs (powers of two).
+    """
+    rng = np.random.default_rng(seed)
+    bounds = [1 << int(e) for e in rng.integers(min_exp, max_exp + 1, size=num_services)]
+    phases = rng.uniform(0, 2 * math.pi, size=num_services)
+    jobs: list[Job] = []
+    for rnd in range(horizon):
+        weights = np.array([
+            1.0 + math.sin(2 * math.pi * rnd / drift_period + phases[s])
+            for s in range(num_services)
+        ])
+        weights = np.clip(weights, 0.0, None)
+        total = weights.sum()
+        if total <= 0:
+            continue
+        rates = total_rate * weights / total
+        counts = rng.poisson(rates)
+        for service in range(num_services):
+            for _ in range(int(counts[service])):
+                jobs.append(Job(color=service, arrival=rnd, delay_bound=bounds[service]))
+    seq = RequestSequence(jobs)
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_services": num_services, "bounds": bounds,
+    })
+
+
+def router_workload(
+    num_classes: int = 6,
+    horizon: int = 1024,
+    delta: int = 4,
+    seed: int = 0,
+    base_rate: float = 0.4,
+    pareto_shape: float = 1.5,
+    burst_scale: float = 6.0,
+    burst_prob: float = 0.02,
+    min_exp: int = 1,
+    max_exp: int = 4,
+    name: str = "router",
+) -> Instance:
+    """Multi-service router: heavy-tailed packet bursts per class.
+
+    Each packet class sees a low base rate with rare Pareto-sized bursts —
+    the traffic fluctuation pattern that forces processor reallocation in
+    programmable network processors.  Delay bounds model per-class latency
+    tolerances.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = [1 << int(e) for e in rng.integers(min_exp, max_exp + 1, size=num_classes)]
+    jobs: list[Job] = []
+    for rnd in range(horizon):
+        for cls in range(num_classes):
+            count = int(rng.poisson(base_rate))
+            if rng.random() < burst_prob:
+                count += int(burst_scale * rng.pareto(pareto_shape)) + 1
+            for _ in range(count):
+                jobs.append(Job(color=cls, arrival=rnd, delay_bound=bounds[cls]))
+    seq = RequestSequence(jobs)
+    return Instance(seq, delta, name=name, metadata={
+        "seed": seed, "num_classes": num_classes, "bounds": bounds,
+    })

@@ -1,0 +1,71 @@
+"""Unit tests for per-color cost attribution."""
+
+import pytest
+
+from repro.analysis.attribution import attribute_costs, attribution_table
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.workloads.generators import rate_limited_workload
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+def run_instance(inst, n=8):
+    return simulate(inst, DeltaLRUEDFPolicy(inst.delta), n=n)
+
+
+class TestAttribution:
+    def test_totals_reconcile_with_ledger(self):
+        inst = rate_limited_workload(num_colors=5, horizon=64, delta=3, seed=0)
+        run = run_instance(inst)
+        rows = attribute_costs(run.schedule, inst)
+        assert sum(cc.reconfig_cost for cc in rows) == pytest.approx(run.reconfig_cost)
+        assert sum(cc.drop_cost for cc in rows) == pytest.approx(run.drop_cost)
+        assert sum(cc.total_cost for cc in rows) == pytest.approx(run.total_cost)
+
+    def test_job_conservation_per_color(self):
+        inst = rate_limited_workload(num_colors=5, horizon=64, delta=3, seed=1)
+        run = run_instance(inst)
+        for cc in attribute_costs(run.schedule, inst):
+            assert cc.served + cc.dropped == cc.jobs
+
+    def test_sorted_by_falling_cost(self):
+        inst = rate_limited_workload(num_colors=6, horizon=64, delta=3, seed=2)
+        run = run_instance(inst)
+        costs = [cc.total_cost for cc in attribute_costs(run.schedule, inst)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_starved_color_attributed_drops_only(self):
+        # Color 1 has fewer than Delta jobs: never configured, all dropped.
+        jobs = [J(0, 0, 4) for _ in range(6)] + [J(1, 0, 4)]
+        inst = Instance(RequestSequence(jobs), delta=3)
+        run = run_instance(inst, n=4)
+        rows = {cc.color: cc for cc in attribute_costs(run.schedule, inst)}
+        assert rows[1].reconfig_cost == 0
+        assert rows[1].drop_cost == 1
+        assert rows[1].cost_per_served == float("inf")
+
+    def test_service_rate_bounds(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=3)
+        run = run_instance(inst)
+        for cc in attribute_costs(run.schedule, inst):
+            assert 0.0 <= cc.service_rate <= 1.0
+
+
+class TestAttributionTable:
+    def test_renders_all_columns(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=4)
+        run = run_instance(inst)
+        text = attribution_table(run.schedule, inst).render()
+        for header in ("color", "bound", "served", "cost/served"):
+            assert header in text
+
+    def test_top_limits_rows(self):
+        inst = rate_limited_workload(num_colors=6, horizon=32, delta=2, seed=5)
+        run = run_instance(inst)
+        table = attribution_table(run.schedule, inst, top=2)
+        assert len(table.rows) == 2

@@ -1,0 +1,107 @@
+"""Unit tests for epoch / super-epoch analysis."""
+
+import pytest
+
+from repro.analysis.epochs import epoch_report, super_epochs
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.workloads.generators import rate_limited_workload
+
+
+def run_with_history(seed=0, n=8, delta=2):
+    inst = rate_limited_workload(num_colors=6, horizon=128, delta=delta, seed=seed)
+    policy = DeltaLRUEDFPolicy(delta, track_history=True)
+    run = simulate(inst, policy, n=n, record_events=False)
+    return inst, policy, run
+
+
+class TestEpochReport:
+    def test_lemma_bounds_exposed(self):
+        inst, policy, run = run_with_history()
+        report = epoch_report(policy.state, run.ledger.reconfig_count)
+        assert report.lemma_33_bound == 4 * report.num_epochs * report.delta
+        assert report.lemma_34_bound == report.num_epochs * report.delta
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_lemma_33_holds_on_random_runs(self, seed):
+        inst, policy, run = run_with_history(seed=seed)
+        report = epoch_report(policy.state, run.ledger.reconfig_count)
+        assert report.lemma_33_holds
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_lemma_34_holds_on_random_runs(self, seed):
+        inst, policy, run = run_with_history(seed=seed)
+        report = epoch_report(policy.state, run.ledger.reconfig_count)
+        assert report.lemma_34_holds
+
+
+class TestSuperEpochs:
+    def test_requires_history(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=0)
+        policy = DeltaLRUEDFPolicy(2)  # no history
+        simulate(inst, policy, n=8, record_events=False)
+        with pytest.raises(ValueError):
+            super_epochs(policy.state, m=1, horizon=inst.horizon)
+
+    def test_partition_covers_horizon(self):
+        inst, policy, run = run_with_history()
+        epochs = super_epochs(policy.state, m=1, horizon=inst.horizon)
+        assert epochs[0].start == 0
+        for a, b in zip(epochs, epochs[1:]):
+            assert a.end == b.start
+        assert epochs[-1].end is None  # last is incomplete
+
+    def test_complete_super_epochs_have_2m_active_colors(self):
+        inst, policy, run = run_with_history()
+        m = 2
+        epochs = super_epochs(policy.state, m=m, horizon=inst.horizon)
+        for ep in epochs[:-1]:
+            assert len(ep.active_colors) >= 2 * m
+
+    def test_corollary_32_epoch_overlap_bound(self):
+        """At most three epochs of a color overlap one super-epoch.
+
+        We verify a weaker observable consequence: the number of epochs of
+        any color is at most 3 x (number of super-epochs) for m = n/8.
+        """
+        inst, policy, run = run_with_history(seed=2)
+        epochs = super_epochs(policy.state, m=1, horizon=inst.horizon)
+        for color, st in policy.state.states.items():
+            total_epochs = st.epochs_completed + (1 if st.seen else 0)
+            assert total_epochs <= 3 * len(epochs)
+
+
+class TestCorollary32:
+    def test_max_overlap_bounded_by_three(self):
+        from repro.analysis.epochs import max_epoch_overlap
+
+        for seed in range(6):
+            inst, policy, run = run_with_history(seed=seed)
+            worst = max_epoch_overlap(policy.state, m=1, horizon=inst.horizon)
+            assert worst <= 3, f"seed {seed}: overlap {worst}"
+
+    def test_requires_history(self):
+        from repro.analysis.epochs import max_epoch_overlap
+        from repro.core.simulator import simulate
+        from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+        from repro.workloads.generators import rate_limited_workload
+
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=0)
+        policy = DeltaLRUEDFPolicy(2)
+        simulate(inst, policy, n=8, record_events=False)
+        with pytest.raises(ValueError):
+            max_epoch_overlap(policy.state, m=1, horizon=inst.horizon)
+
+    def test_single_epoch_color_overlaps_once_per_super_epoch(self):
+        from repro.analysis.epochs import max_epoch_overlap
+        from repro.core.job import Job
+        from repro.core.request import Instance, RequestSequence
+        from repro.core.simulator import simulate
+        from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+
+        # One color, served immediately and forever cached: one live epoch.
+        jobs = [Job(color=0, arrival=0, delay_bound=2) for _ in range(2)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        policy = DeltaLRUEDFPolicy(2, track_history=True)
+        simulate(inst, policy, n=4, record_events=False)
+        assert max_epoch_overlap(policy.state, m=1, horizon=inst.horizon) <= 1

@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.metrics."""
+
+from repro.analysis.metrics import collect_metrics
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.baselines import StaticPartitionPolicy
+
+
+def run_tiny():
+    jobs = [Job(color=0, arrival=0, delay_bound=2) for _ in range(3)]
+    jobs += [Job(color=1, arrival=0, delay_bound=2)]
+    inst = Instance(RequestSequence(jobs), delta=2, name="tiny")
+    return inst, simulate(inst, StaticPartitionPolicy(), n=1)
+
+
+class TestRunMetrics:
+    def test_counts_consistent(self):
+        inst, run = run_tiny()
+        m = collect_metrics(run)
+        assert m.total_jobs == 4
+        assert m.executed + m.dropped == m.total_jobs
+        assert m.total_cost == m.reconfig_cost + m.drop_cost
+
+    def test_completion_rate(self):
+        inst, run = run_tiny()
+        m = collect_metrics(run)
+        assert m.completion_rate == m.executed / 4
+
+    def test_utilization_bounded(self):
+        inst, run = run_tiny()
+        m = collect_metrics(run)
+        assert 0.0 <= m.utilization <= 1.0
+
+    def test_name_defaults_to_instance(self):
+        inst, run = run_tiny()
+        assert collect_metrics(run).name == "tiny"
+        assert collect_metrics(run, name="custom").name == "custom"
+
+    def test_as_dict_keys(self):
+        inst, run = run_tiny()
+        d = collect_metrics(run).as_dict()
+        for key in ("jobs", "executed", "dropped", "total_cost",
+                    "completion_rate", "utilization", "reconfig_rate"):
+            assert key in d
+
+    def test_empty_run(self):
+        inst = Instance(RequestSequence([]), delta=1)
+        run = simulate(inst, StaticPartitionPolicy(), n=1)
+        m = collect_metrics(run)
+        assert m.completion_rate == 1.0
+        assert m.total_cost == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.reporting import Table
+
+
+class TestTable:
+    def test_markdown_shape(self):
+        table = Table(["a", "b"], title="demo")
+        table.add_row(1, 2.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "### demo"
+        assert lines[2].startswith("| a")
+        assert set(lines[3]) <= {"|", "-"}
+        assert "2.500" in lines[4]
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_bool_formatting(self):
+        table = Table(["x"])
+        table.add_row(True)
+        table.add_row(False)
+        assert "yes" in table.render()
+        assert "no" in table.render()
+
+    def test_inf_formatting(self):
+        table = Table(["x"])
+        table.add_row(float("inf"))
+        assert "inf" in table.render()
+
+    def test_extend(self):
+        table = Table(["x", "y"])
+        table.extend([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_empty_table_renders(self):
+        table = Table(["only"])
+        assert "only" in table.render()
+
+    def test_str_equals_render(self):
+        table = Table(["x"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+    def test_alignment_is_consistent(self):
+        table = Table(["col"])
+        table.add_row(1)
+        table.add_row(100000)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width

@@ -1,0 +1,62 @@
+"""Unit tests for the one-call run verifier."""
+
+import pytest
+
+from repro.analysis.verify import verify_run
+from repro.core.simulator import simulate
+from repro.policies.baselines import GreedyUtilizationPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.reductions.pipeline import solve_online
+from repro.workloads.generators import poisson_workload, rate_limited_workload
+
+
+class TestVerifyRun:
+    def test_clean_simulation_passes(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=0)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        report = verify_run(run)
+        assert report.ok, report.render()
+
+    def test_section3_checks_present_for_dlru_edf(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=1)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        report = verify_run(run)
+        names = [name for name, _, _ in report.checks]
+        assert any("Lemma 3.3" in n for n in names)
+        assert any("Lemma 3.4" in n for n in names)
+
+    def test_no_lemma_checks_for_stateless_policy(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=2)
+        run = simulate(inst, GreedyUtilizationPolicy(), n=4)
+        report = verify_run(run)
+        names = [name for name, _, _ in report.checks]
+        assert not any("Lemma" in n for n in names)
+        assert report.ok
+
+    def test_pipeline_result_passes(self):
+        inst = poisson_workload(num_colors=4, horizon=48, delta=3, seed=3)
+        res = solve_online(inst, n=8)
+        report = verify_run(res)
+        assert report.ok, report.render()
+
+    def test_corrupted_schedule_fails(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=4)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        # Corrupt: claim an extra execution of a nonexistent job.
+        run.schedule.add_execution(0, 0, 10**12)
+        report = verify_run(run)
+        assert not report.ok
+        assert report.failures()
+
+    def test_strict_raises_on_failure(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=5)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        run.schedule.executions.pop()  # ledger no longer matches
+        with pytest.raises(AssertionError):
+            verify_run(run, strict=True)
+
+    def test_render_contains_marks(self):
+        inst = rate_limited_workload(num_colors=3, horizon=16, delta=2, seed=6)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        text = verify_run(run).render()
+        assert "[PASS]" in text

@@ -1,0 +1,100 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: power-of-two delay bounds the theorems assume
+pow2_bounds = st.sampled_from([1, 2, 4, 8])
+
+#: arbitrary (possibly non power of two) bounds for the Section 5.3 extension
+any_bounds = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def jobs_strategy(
+    draw,
+    max_jobs: int = 30,
+    max_colors: int = 4,
+    max_round: int = 24,
+    bounds=pow2_bounds,
+    batched: bool = False,
+    rate_limited: bool = False,
+):
+    """A list of jobs with consistent per-color delay bounds.
+
+    ``batched`` constrains color-``l`` arrivals to multiples of ``D_l``;
+    ``rate_limited`` additionally caps each batch at ``D_l`` jobs (the
+    Section-3 setting) by discarding overflow draws.
+    """
+    num_colors = draw(st.integers(1, max_colors))
+    color_bounds = {c: draw(bounds) for c in range(num_colors)}
+    count = draw(st.integers(0, max_jobs))
+    jobs = []
+    per_batch: dict[tuple[int, int], int] = {}
+    for _ in range(count):
+        color = draw(st.integers(0, num_colors - 1))
+        bound = color_bounds[color]
+        if batched or rate_limited:
+            max_batch = max_round // bound
+            arrival = draw(st.integers(0, max(max_batch, 0))) * bound
+            if rate_limited:
+                key = (color, arrival)
+                if per_batch.get(key, 0) >= bound:
+                    continue
+                per_batch[key] = per_batch.get(key, 0) + 1
+        else:
+            arrival = draw(st.integers(0, max_round))
+        jobs.append(Job(color=color, arrival=arrival, delay_bound=bound))
+    return jobs
+
+
+@st.composite
+def sequence_strategy(draw, **kwargs):
+    return RequestSequence(draw(jobs_strategy(**kwargs)))
+
+
+@st.composite
+def instance_strategy(draw, max_delta: int = 4, **kwargs):
+    seq = RequestSequence(draw(jobs_strategy(**kwargs)))
+    delta = draw(st.integers(1, max_delta))
+    return Instance(seq, delta, name="hypothesis")
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Three colors, power-of-two bounds, batched, deterministic."""
+    jobs = []
+    for start in (0, 2):
+        jobs += [Job(color=0, arrival=start, delay_bound=2) for _ in range(2)]
+    jobs += [Job(color=1, arrival=0, delay_bound=4) for _ in range(3)]
+    jobs += [Job(color=2, arrival=4, delay_bound=4) for _ in range(2)]
+    return Instance(RequestSequence(jobs), delta=2, name="tiny")
+
+
+@pytest.fixture
+def general_instance() -> Instance:
+    """Unbatched arrivals, used by the VarBatch tests."""
+    jobs = [
+        Job(color=0, arrival=1, delay_bound=4),
+        Job(color=0, arrival=3, delay_bound=4),
+        Job(color=1, arrival=2, delay_bound=8),
+        Job(color=1, arrival=5, delay_bound=8),
+        Job(color=2, arrival=0, delay_bound=2),
+        Job(color=2, arrival=4, delay_bound=2),
+        Job(color=2, arrival=7, delay_bound=2),
+    ]
+    return Instance(RequestSequence(jobs), delta=2, name="general")

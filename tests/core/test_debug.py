@@ -1,0 +1,66 @@
+"""Unit tests for the round narrator."""
+
+from repro.core.debug import narrate
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import SeqEDFPolicy
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+def tiny_run(record=True, speed=1, policy=None):
+    jobs = [J(0, 0, 2), J(0, 0, 2), J(1, 0, 4), J(1, 0, 4), J(1, 0, 4)]
+    inst = Instance(RequestSequence(jobs), delta=2)
+    pol = policy or DeltaLRUEDFPolicy(2)
+    return simulate(inst, pol, n=4, speed=speed, record_events=record)
+
+
+class TestNarrate:
+    def test_all_phases_appear(self):
+        text = narrate(tiny_run())
+        assert "arrive:" in text
+        assert "config:" in text
+        assert "execute:" in text
+
+    def test_round_headers(self):
+        text = narrate(tiny_run())
+        assert "== round 0 ==" in text
+
+    def test_drops_narrated(self):
+        # 3 jobs of color 1 but only delta=2 per wrap: with a tiny cache,
+        # some drop at their deadline (round 4).
+        jobs = [J(0, 0, 4) for _ in range(9)]
+        inst = Instance(RequestSequence(jobs), delta=100)  # never eligible
+        run = simulate(inst, DeltaLRUEDFPolicy(100), n=4)
+        text = narrate(run)
+        assert "drop:" in text
+        assert "x9" in text
+
+    def test_window_restriction(self):
+        text = narrate(tiny_run(), start=1, end=2)
+        assert "== round 0 ==" not in text
+
+    def test_unrecorded_run_explains_itself(self):
+        text = narrate(tiny_run(record=False))
+        assert "record_events" in text
+
+    def test_mini_rounds_tagged_at_double_speed(self):
+        run = tiny_run(speed=2, policy=SeqEDFPolicy(2))
+        text = narrate(run)
+        assert "(mini 1)" in text
+
+    def test_empty_window_message(self):
+        run = tiny_run()
+        text = narrate(run, start=1000, end=1001)
+        assert "no activity" in text
+
+    def test_include_empty_shows_idle_rounds(self):
+        jobs = [J(0, 0, 2), J(0, 8, 2)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        run = simulate(inst, DeltaLRUEDFPolicy(1), n=4)
+        text = narrate(run, include_empty=True)
+        assert "(idle)" in text

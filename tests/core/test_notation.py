@@ -1,0 +1,102 @@
+"""Unit tests for the problem-class taxonomy."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.notation import (
+    BatchField,
+    ProblemClass,
+    classify,
+    parse,
+    recommended_solver,
+)
+from repro.core.request import Instance, RequestSequence
+
+
+def inst_of(jobs, delta=2):
+    return Instance(RequestSequence(jobs), delta)
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class TestClassify:
+    def test_rate_limited(self):
+        inst = inst_of([J(0, 0, 2), J(0, 0, 2)])
+        cls = classify(inst)
+        assert cls.batch is BatchField.RATE_LIMITED
+        assert cls.power_of_two
+        assert cls.theorem.startswith("Theorem 1")
+
+    def test_batched_not_rate_limited(self):
+        inst = inst_of([J(0, 0, 2) for _ in range(3)])
+        cls = classify(inst)
+        assert cls.batch is BatchField.BATCHED
+        assert cls.theorem.startswith("Theorem 2")
+
+    def test_general(self):
+        inst = inst_of([J(0, 1, 2)])
+        cls = classify(inst)
+        assert cls.batch is BatchField.ARBITRARY
+        assert cls.theorem.startswith("Theorem 3")
+
+    def test_non_power_of_two_forces_theorem_3(self):
+        inst = inst_of([J(0, 0, 3)])
+        assert classify(inst).theorem.startswith("Theorem 3")
+
+    def test_notation_round_trip(self):
+        inst = inst_of([J(0, 0, 2), J(0, 0, 2)])
+        cls = classify(inst)
+        assert cls.notation() == inst.notation()
+
+
+class TestParse:
+    def test_parse_general(self):
+        cls = parse("[4 | 1 | D_l | 1]")
+        assert cls.delta == 4
+        assert cls.batch is BatchField.ARBITRARY
+
+    def test_parse_batched(self):
+        assert parse("[2 | 1 | D_l | D_l]").batch is BatchField.BATCHED
+
+    def test_parse_rate_limited(self):
+        cls = parse("[2 | 1 | D_l | D_l (rate-limited)]")
+        assert cls.batch is BatchField.RATE_LIMITED
+
+    def test_parse_float_delta(self):
+        assert parse("[2.5 | 1 | D_l | 1]").delta == 2.5
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse("[?? | nope]")
+
+    def test_parse_inverts_notation(self):
+        for batch in BatchField:
+            cls = ProblemClass(delta=3, batch=batch, power_of_two=True)
+            assert parse(cls.notation()) == cls
+
+
+class TestRecommendedSolver:
+    def test_rate_limited_gets_direct_solver(self):
+        from repro.reductions.pipeline import solve_rate_limited
+
+        inst = inst_of([J(0, 0, 2), J(0, 0, 2)])
+        assert recommended_solver(inst) is solve_rate_limited
+
+    def test_batched_gets_distribute(self):
+        from repro.reductions.pipeline import solve_batched
+
+        inst = inst_of([J(0, 0, 2) for _ in range(3)])
+        assert recommended_solver(inst) is solve_batched
+
+    def test_general_gets_varbatch(self):
+        from repro.reductions.pipeline import solve_online
+
+        inst = inst_of([J(0, 1, 2)])
+        assert recommended_solver(inst) is solve_online
+
+    def test_recommended_solver_runs(self):
+        inst = inst_of([J(0, 1, 4), J(1, 2, 4)])
+        result = recommended_solver(inst)(inst, n=8)
+        assert result.total_cost >= 0

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.pending."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.pending import PendingPool, PendingStore
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class TestPendingPool:
+    def test_rejects_wrong_color(self):
+        pool = PendingPool(0)
+        with pytest.raises(ValueError):
+            pool.add(J(1, 0, 2))
+
+    def test_idle_transitions(self):
+        pool = PendingPool(0)
+        assert pool.idle
+        pool.add(J(0, 0, 2))
+        assert not pool.idle
+        pool.pop()
+        assert pool.idle
+
+    def test_pop_earliest_deadline(self):
+        pool = PendingPool(0)
+        late = J(0, 4, 4)
+        early = J(0, 0, 2)
+        pool.add(late)
+        pool.add(early)
+        assert pool.pop().uid == early.uid
+
+    def test_peek_does_not_remove(self):
+        pool = PendingPool(0)
+        job = J(0, 0, 2)
+        pool.add(job)
+        assert pool.peek().uid == job.uid
+        assert len(pool) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PendingPool(0).pop()
+
+    def test_earliest_deadline(self):
+        pool = PendingPool(0)
+        assert pool.earliest_deadline() is None
+        pool.add(J(0, 2, 2))
+        assert pool.earliest_deadline() == 4
+
+    def test_remove_arbitrary(self):
+        pool = PendingPool(0)
+        a, b = J(0, 0, 2), J(0, 0, 4)
+        pool.add(a)
+        pool.add(b)
+        pool.remove(a)
+        assert len(pool) == 1
+        assert pool.pop().uid == b.uid
+
+    def test_drop_expired_only_due(self):
+        pool = PendingPool(0)
+        due = J(0, 0, 2)       # deadline 2
+        not_due = J(0, 0, 4)   # deadline 4
+        pool.add(due)
+        pool.add(not_due)
+        dropped = pool.drop_expired(2)
+        assert [j.uid for j in dropped] == [due.uid]
+        assert len(pool) == 1
+
+    def test_drop_expired_removed_jobs_not_counted(self):
+        pool = PendingPool(0)
+        job = J(0, 0, 2)
+        pool.add(job)
+        pool.remove(job)
+        assert pool.drop_expired(2) == []
+
+    def test_pending_jobs_snapshot_sorted(self):
+        pool = PendingPool(0)
+        jobs = [J(0, 4, 4), J(0, 0, 2), J(0, 2, 4)]
+        for job in jobs:
+            pool.add(job)
+        snapshot = pool.pending_jobs()
+        deadlines = [j.deadline for j in snapshot]
+        assert deadlines == sorted(deadlines)
+        assert len(snapshot) == 3
+
+
+class TestPendingStore:
+    def test_nonidle_colors(self):
+        store = PendingStore()
+        store.add(J(0, 0, 2))
+        store.add(J(1, 0, 4))
+        store.execute_one(0)
+        assert store.nonidle_colors() == [1]
+
+    def test_idle_unknown_color(self):
+        assert PendingStore().idle(42)
+
+    def test_pending_counts(self):
+        store = PendingStore()
+        store.add(J(0, 0, 2))
+        store.add(J(0, 0, 2))
+        store.add(J(1, 0, 4))
+        assert store.pending_count(0) == 2
+        assert store.pending_count() == 3
+        assert store.pending_count(9) == 0
+
+    def test_execute_one_pops_earliest(self):
+        store = PendingStore()
+        early, late = J(0, 0, 2), J(0, 0, 4)
+        store.add(late)
+        store.add(early)
+        assert store.execute_one(0).uid == early.uid
+
+    def test_execute_idle_returns_none(self):
+        assert PendingStore().execute_one(5) is None
+
+    def test_drop_expired_across_colors(self):
+        store = PendingStore()
+        store.add(J(0, 0, 2))
+        store.add(J(1, 0, 2))
+        store.add(J(2, 0, 4))
+        dropped = store.drop_expired(2)
+        assert {j.color for j in dropped} == {0, 1}
+        assert store.pending_count() == 1
+
+    def test_all_pending_sorted_by_rank(self):
+        store = PendingStore()
+        store.add(J(0, 0, 8))
+        store.add(J(1, 0, 2))
+        ranked = store.all_pending()
+        assert [j.color for j in ranked] == [1, 0]

@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.request."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import (
+    Instance,
+    Request,
+    RequestSequence,
+    sequence_from_arrivals,
+)
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+class TestRequest:
+    def test_rejects_mismatched_round(self):
+        with pytest.raises(ValueError, match="round"):
+            Request(0, (J(0, 1, 2),))
+
+    def test_by_color_groups(self):
+        req = Request(0, (J(0, 0, 2), J(1, 0, 2), J(0, 0, 2)))
+        grouped = req.by_color()
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 1
+
+    def test_len_and_iter(self):
+        jobs = (J(0, 0, 2), J(1, 0, 2))
+        req = Request(0, jobs)
+        assert len(req) == 2
+        assert tuple(req) == jobs
+
+
+class TestRequestSequence:
+    def test_horizon_extends_to_latest_deadline(self):
+        seq = RequestSequence([J(0, 3, 4)])
+        assert seq.horizon == 8  # deadline 7, plus the drop round
+
+    def test_explicit_horizon_accepted(self):
+        seq = RequestSequence([J(0, 0, 2)], horizon=10)
+        assert seq.horizon == 10
+
+    def test_truncating_horizon_rejected(self):
+        with pytest.raises(ValueError, match="truncates"):
+            RequestSequence([J(0, 3, 4)], horizon=5)
+
+    def test_empty_sequence(self):
+        seq = RequestSequence([])
+        assert seq.horizon == 0
+        assert seq.num_jobs == 0
+        assert list(seq.jobs()) == []
+
+    def test_request_lookup(self):
+        job = J(0, 2, 2)
+        seq = RequestSequence([job])
+        assert seq.request(2).jobs == (job,)
+        assert seq.request(0).jobs == ()
+
+    def test_jobs_in_arrival_order(self):
+        late, early = J(0, 5, 2), J(0, 1, 2)
+        seq = RequestSequence([late, early])
+        assert [j.arrival for j in seq.jobs()] == [1, 5]
+
+    def test_colors_and_counts(self):
+        seq = RequestSequence([J(0, 0, 2), J(1, 0, 4), J(0, 2, 2)])
+        assert seq.colors() == {0, 1}
+        assert seq.jobs_per_color() == {0: 2, 1: 1}
+
+    def test_delay_bounds_map(self):
+        seq = RequestSequence([J(0, 0, 2), J(1, 0, 4)])
+        assert seq.delay_bounds() == {0: 2, 1: 4}
+
+    def test_inconsistent_delay_bounds_rejected(self):
+        seq = RequestSequence([J(0, 0, 2), J(0, 0, 4)])
+        with pytest.raises(ValueError, match="inconsistent"):
+            seq.delay_bounds()
+
+
+class TestBatchPredicates:
+    def test_batched_detection(self):
+        assert RequestSequence([J(0, 0, 2), J(0, 4, 2)]).is_batched()
+        assert not RequestSequence([J(0, 1, 2)]).is_batched()
+
+    def test_rate_limited_detection(self):
+        within = RequestSequence([J(0, 0, 2), J(0, 0, 2)])
+        assert within.is_rate_limited()
+        over = RequestSequence([J(0, 0, 2) for _ in range(3)])
+        assert over.is_batched()
+        assert not over.is_rate_limited()
+
+    def test_unbatched_is_not_rate_limited(self):
+        assert not RequestSequence([J(0, 1, 2)]).is_rate_limited()
+
+    def test_power_of_two_bounds(self):
+        assert RequestSequence([J(0, 0, 4)]).has_power_of_two_bounds()
+        assert not RequestSequence([J(0, 0, 3)]).has_power_of_two_bounds()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        seq = RequestSequence([J(0, 0, 2), J((1, 3), 4, 4)])
+        restored = RequestSequence.from_json(seq.to_json())
+        assert restored.horizon == seq.horizon
+        originals = [(j.color, j.arrival, j.delay_bound, j.uid) for j in seq.jobs()]
+        restoreds = [(j.color, j.arrival, j.delay_bound, j.uid) for j in restored.jobs()]
+        assert originals == restoreds
+
+    def test_tuple_colors_survive(self):
+        seq = RequestSequence([J((2, (3, 4)), 0, 2)])
+        restored = RequestSequence.from_json(seq.to_json())
+        assert next(restored.jobs()).color == (2, (3, 4))
+
+
+class TestInstance:
+    def test_delta_validated(self):
+        seq = RequestSequence([J(0, 0, 2)])
+        with pytest.raises(ValueError, match="Delta"):
+            Instance(seq, 0)
+
+    def test_notation_rate_limited(self):
+        seq = RequestSequence([J(0, 0, 2)])
+        assert "rate-limited" in Instance(seq, 2).notation()
+
+    def test_notation_batched(self):
+        seq = RequestSequence([J(0, 0, 2) for _ in range(3)])
+        assert Instance(seq, 2).notation() == "[2 | 1 | D_l | D_l]"
+
+    def test_notation_general(self):
+        seq = RequestSequence([J(0, 1, 2)])
+        assert Instance(seq, 2).notation() == "[2 | 1 | D_l | 1]"
+
+
+class TestSequenceFromArrivals:
+    def test_mapping_form(self):
+        seq = sequence_from_arrivals({0: [(0, 2), (1, 4)], 2: [(0, 2)]})
+        assert seq.num_jobs == 3
+        assert len(seq.request(0)) == 2
+
+    def test_list_form(self):
+        seq = sequence_from_arrivals([[(0, 2)], [], [(1, 4)]])
+        assert seq.num_jobs == 2
+        assert len(seq.request(1)) == 0

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.resources."""
+
+import pytest
+
+from repro.core.job import BLACK
+from repro.core.ledger import CostLedger
+from repro.core.resources import ResourceBank, multiset_distance
+
+
+class TestResourceBank:
+    def test_initially_black(self):
+        bank = ResourceBank(3)
+        assert bank.assignment() == (BLACK, BLACK, BLACK)
+        assert not bank.configured_colors()
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            ResourceBank(0)
+
+    def test_reconfigure_charges_per_location(self):
+        bank = ResourceBank(4)
+        ledger = CostLedger(delta=3)
+        bank.reconfigure_to(["a", "a", "b"], rnd=0, ledger=ledger)
+        assert ledger.reconfig_count == 3
+        assert ledger.reconfig_cost == 9
+        assert bank.configured_colors() == {"a": 2, "b": 1}
+
+    def test_unchanged_colors_are_free(self):
+        bank = ResourceBank(4)
+        ledger = CostLedger(delta=1)
+        bank.reconfigure_to(["a", "b"], 0, ledger)
+        bank.reconfigure_to(["a", "b"], 1, ledger)
+        assert ledger.reconfig_count == 2  # only the initial configuration
+
+    def test_partial_overlap_charges_difference(self):
+        bank = ResourceBank(4)
+        ledger = CostLedger(delta=1)
+        bank.reconfigure_to(["a", "b", "c"], 0, ledger)
+        bank.reconfigure_to(["b", "c", "d"], 1, ledger)
+        assert ledger.reconfig_count == 4  # 3 initial + only 'd'
+
+    def test_replication_multiplicity(self):
+        bank = ResourceBank(4)
+        ledger = CostLedger(delta=1)
+        bank.reconfigure_to(["a", "a"], 0, ledger)
+        bank.reconfigure_to(["a", "a", "a"], 1, ledger)
+        assert ledger.reconfig_count == 3
+        assert bank.configured_colors()["a"] == 3
+
+    def test_shrinking_multiplicity_is_free(self):
+        bank = ResourceBank(4)
+        ledger = CostLedger(delta=1)
+        bank.reconfigure_to(["a", "a"], 0, ledger)
+        bank.reconfigure_to(["a"], 1, ledger)
+        assert ledger.reconfig_count == 2
+        # Surplus copy is left in place (free), not blanked.
+        assert bank.configured_colors()["a"] == 2
+
+    def test_desired_larger_than_n_rejected(self):
+        bank = ResourceBank(2)
+        with pytest.raises(ValueError, match="resources"):
+            bank.reconfigure_to(["a", "b", "c"], 0)
+
+    def test_surplus_kept_until_slot_needed(self):
+        bank = ResourceBank(2)
+        ledger = CostLedger(delta=1)
+        bank.reconfigure_to(["a", "b"], 0, ledger)
+        bank.reconfigure_to(["c", "a"], 1, ledger)
+        # 'a' stays in place; 'b' slot recolored to 'c'.
+        assert bank.configured_colors() == {"a": 1, "c": 1}
+        assert ledger.reconfig_count == 3
+
+    def test_changes_returned(self):
+        bank = ResourceBank(2)
+        changes = bank.reconfigure_to(["x"], 0)
+        assert len(changes) == 1
+        loc, old, new = changes[0]
+        assert old is BLACK and new == "x"
+        assert bank.color_at(loc) == "x"
+
+    def test_locations_of(self):
+        bank = ResourceBank(3)
+        bank.reconfigure_to(["a", "a", "b"], 0)
+        assert len(bank.locations_of("a")) == 2
+        assert len(bank.locations_of("b")) == 1
+
+    def test_is_configured(self):
+        bank = ResourceBank(2)
+        bank.reconfigure_to(["a"], 0)
+        assert bank.is_configured("a")
+        assert not bank.is_configured("z")
+
+    def test_set_color_explicit(self):
+        bank = ResourceBank(2)
+        ledger = CostLedger(delta=2)
+        assert bank.set_color(1, "q", 0, ledger)
+        assert not bank.set_color(1, "q", 1, ledger)  # no-op
+        assert ledger.reconfig_count == 1
+        assert bank.color_at(1) == "q"
+
+
+class TestMultisetDistance:
+    def test_identical_is_zero(self):
+        assert multiset_distance(["a", "b"], ["a", "b"]) == 0
+
+    def test_black_absorbs(self):
+        assert multiset_distance([BLACK, BLACK], ["a", "b"]) == 2
+
+    def test_counts_missing_copies_only(self):
+        assert multiset_distance(["a"], ["a", "a"]) == 1
+        assert multiset_distance(["a", "a"], ["a"]) == 0
+
+    def test_disjoint(self):
+        assert multiset_distance(["a", "b"], ["c", "d"]) == 2

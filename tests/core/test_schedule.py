@@ -1,0 +1,203 @@
+"""Unit tests for repro.core.schedule and the validity checker."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import RequestSequence
+from repro.core.schedule import (
+    Schedule,
+    ScheduleError,
+    schedule_from_events,
+    validate_schedule,
+)
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+@pytest.fixture
+def seq():
+    return RequestSequence([
+        J(0, 0, 4, uid=1),
+        J(1, 0, 4, uid=2),
+        J(0, 2, 4, uid=3),
+    ])
+
+
+class TestValidSchedules:
+    def test_empty_schedule_valid(self, seq):
+        led = validate_schedule(Schedule(n=1), seq, delta=2)
+        assert led.drop_cost == 3
+        assert led.reconfig_cost == 0
+
+    def test_basic_execution(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 1)
+        led = validate_schedule(s, seq, delta=2)
+        assert led.total_cost == 2 + 2  # one reconfig, two drops
+
+    def test_reconfig_applies_same_round(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(2, 0, 0)
+        s.add_execution(2, 0, 3)
+        validate_schedule(s, seq, delta=1)
+
+    def test_two_resources_same_round(self, seq):
+        s = Schedule(n=2)
+        s.add_reconfig(0, 0, 0)
+        s.add_reconfig(0, 1, 1)
+        s.add_execution(0, 0, 1)
+        s.add_execution(0, 1, 2)
+        led = validate_schedule(s, seq, delta=1)
+        assert led.drop_cost == 1
+
+    def test_double_speed_mini_rounds(self, seq):
+        s = Schedule(n=1, speed=2)
+        s.add_reconfig(0, 0, 0, mini=0)
+        s.add_execution(0, 0, 1, mini=0)
+        s.add_execution(2, 0, 3, mini=1)
+        validate_schedule(s, seq, delta=1)
+
+    def test_recolor_between_mini_rounds(self, seq):
+        s = Schedule(n=1, speed=2)
+        s.add_reconfig(0, 0, 0, mini=0)
+        s.add_execution(0, 0, 1, mini=0)
+        s.add_reconfig(0, 0, 1, mini=1)
+        s.add_execution(0, 0, 2, mini=1)
+        led = validate_schedule(s, seq, delta=1)
+        assert led.reconfig_count == 2
+
+
+class TestInvalidSchedules:
+    def test_wrong_color(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 1)
+        s.add_execution(0, 0, 1)  # job 1 is color 0
+        with pytest.raises(ScheduleError, match="configured"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_black_resource(self, seq):
+        s = Schedule(n=1)
+        s.add_execution(0, 0, 1)
+        with pytest.raises(ScheduleError, match="configured"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_execution_before_arrival(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(1, 0, 3)  # job 3 arrives at 2
+        with pytest.raises(ScheduleError, match="window"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_execution_at_deadline(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(4, 0, 1)  # deadline of job 1 is 4
+        with pytest.raises(ScheduleError, match="window"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_double_execution(self, seq):
+        s = Schedule(n=2)
+        s.add_reconfig(0, 0, 0)
+        s.add_reconfig(0, 1, 0)
+        s.add_execution(0, 0, 1)
+        s.add_execution(0, 1, 1)
+        with pytest.raises(ScheduleError, match="twice"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_slot_conflict(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 1)
+        s.add_execution(0, 0, 3)
+        with pytest.raises(ScheduleError, match="slot"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_unknown_uid(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 999)
+        with pytest.raises(ScheduleError, match="exist"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_location_out_of_range(self, seq):
+        s = Schedule(n=1)
+        s.add_execution(0, 5, 1)
+        with pytest.raises(ScheduleError, match="range"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_mini_round_out_of_range(self, seq):
+        s = Schedule(n=1, speed=1)
+        s.add_execution(0, 0, 1, mini=1)
+        with pytest.raises(ScheduleError, match="mini"):
+            validate_schedule(s, seq, delta=1)
+
+    def test_double_reconfig_same_slot(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_reconfig(0, 0, 1)
+        with pytest.raises(ScheduleError, match="[Tt]wo reconfigurations"):
+            validate_schedule(s, seq, delta=1)
+
+
+class TestCostAccounting:
+    def test_cost_matches_ledger(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 1)
+        assert s.cost(seq, delta=3) == s.ledger(seq, 3).total_cost == 3 + 2
+
+    def test_restricted_to(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 1)
+        s.add_execution(2, 0, 3)
+        sub = s.restricted_to({1})
+        assert sub.executed_uids() == {1}
+        assert sub.reconfig_count() == 1
+
+
+class TestScheduleFromEvents:
+    def test_lifts_simulation_events(self, tiny_instance):
+        from repro.core.simulator import simulate
+        from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+
+        run = simulate(tiny_instance, DeltaLRUEDFPolicy(tiny_instance.delta), n=4)
+        lifted = schedule_from_events(4, run.events)
+        assert lifted.executed_uids() == run.schedule.executed_uids()
+        assert lifted.reconfig_count() == run.schedule.reconfig_count()
+        validate_schedule(lifted, tiny_instance.sequence, tiny_instance.delta)
+
+
+class TestSchedulePersistence:
+    def test_round_trip_preserves_everything(self, seq):
+        s = Schedule(n=2, speed=2)
+        s.add_reconfig(0, 0, 0)
+        s.add_reconfig(1, 1, 1, mini=1)
+        s.add_execution(0, 0, 1)
+        s.add_execution(2, 0, 3, mini=1)
+        restored = Schedule.from_json(s.to_json())
+        assert restored.n == 2 and restored.speed == 2
+        assert restored.reconfigs == s.reconfigs
+        assert restored.executions == s.executions
+
+    def test_tuple_colors_survive(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, (3, 1))
+        restored = Schedule.from_json(s.to_json())
+        assert restored.reconfigs[0].new_color == (3, 1)
+
+    def test_restored_schedule_validates_identically(self, seq):
+        s = Schedule(n=1)
+        s.add_reconfig(0, 0, 0)
+        s.add_execution(0, 0, 1)
+        a = validate_schedule(s, seq, 2).total_cost
+        b = validate_schedule(Schedule.from_json(s.to_json()), seq, 2).total_cost
+        assert a == b
+
+    def test_foreign_payload_rejected(self, seq):
+        import pytest as _pytest
+        with _pytest.raises(ValueError, match="not a repro schedule"):
+            Schedule.from_json('{"format": "nope"}')

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.simulator."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import Policy, Simulator, simulate
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+class PinnedPolicy(Policy):
+    """Configures a fixed multiset every round."""
+
+    def __init__(self, colors):
+        self.colors = colors
+
+    def desired_configuration(self, rnd, mini):
+        return self.colors
+
+
+class RecordingPolicy(PinnedPolicy):
+    """Also records which hooks fired, to test phase ordering."""
+
+    def __init__(self, colors):
+        super().__init__(colors)
+        self.calls: list[tuple] = []
+
+    def on_drop_phase(self, rnd, dropped):
+        self.calls.append(("drop", rnd, len(dropped)))
+
+    def on_arrival_phase(self, rnd, request):
+        self.calls.append(("arrival", rnd, len(request)))
+
+    def desired_configuration(self, rnd, mini):
+        self.calls.append(("reconfig", rnd, mini))
+        return super().desired_configuration(rnd, mini)
+
+    def on_execution_phase(self, rnd, mini, executed):
+        self.calls.append(("execute", rnd, mini, len(executed)))
+
+
+class TestRoundLoop:
+    def test_job_executed_same_round_as_arrival(self):
+        inst = Instance(RequestSequence([J(0, 0, 1, uid=1)]), delta=1)
+        run = simulate(inst, PinnedPolicy([0]), n=1)
+        assert run.executed_uids == {1}
+        assert run.drop_cost == 0
+
+    def test_job_dropped_at_deadline(self):
+        inst = Instance(RequestSequence([J(0, 0, 2, uid=1)]), delta=1)
+        run = simulate(inst, PinnedPolicy([]), n=1)
+        assert run.dropped_uids == {1}
+        assert run.drop_cost == 1
+        drop_events = run.events.drops()
+        assert drop_events[0].round == 2
+
+    def test_phase_order_within_round(self):
+        inst = Instance(RequestSequence([J(0, 0, 1)]), delta=1)
+        policy = RecordingPolicy([0])
+        simulate(inst, policy, n=1)
+        kinds = [c[0] for c in policy.calls if c[1] == 0]
+        assert kinds == ["drop", "arrival", "reconfig", "execute"]
+
+    def test_replicated_color_executes_two_jobs_per_round(self):
+        jobs = [J(0, 0, 1) for _ in range(2)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        run = simulate(inst, PinnedPolicy([0, 0]), n=2)
+        assert len(run.executed_uids) == 2
+
+    def test_earliest_deadline_executed_first(self):
+        tight = J(0, 1, 1, uid=1)
+        loose = J(0, 0, 4, uid=2)
+        inst = Instance(RequestSequence([tight, loose]), delta=1)
+        run = simulate(inst, PinnedPolicy([0]), n=1)
+        # Round 0: only loose pending? No: loose arrives at 0, tight at 1.
+        # Round 1: both pending, tight must win the slot.
+        assert 1 in run.executed_uids
+
+    def test_double_speed_executes_twice_per_round(self):
+        jobs = [J(0, 0, 1) for _ in range(2)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        run = simulate(inst, PinnedPolicy([0]), n=1, speed=2)
+        assert len(run.executed_uids) == 2
+
+    def test_invalid_speed(self):
+        inst = Instance(RequestSequence([J(0, 0, 1)]), delta=1)
+        with pytest.raises(ValueError):
+            Simulator(inst, PinnedPolicy([]), n=1, speed=0)
+
+    def test_steps_must_be_sequential(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        sim = Simulator(inst, PinnedPolicy([]), n=1)
+        sim.step(0)
+        with pytest.raises(ValueError, match="order"):
+            sim.step(5)
+
+
+class TestCostAccounting:
+    def test_reconfig_cost_charged_once_for_stable_config(self):
+        jobs = [J(0, r, 1) for r in range(5)]
+        inst = Instance(RequestSequence(jobs), delta=3)
+        run = simulate(inst, PinnedPolicy([0]), n=1)
+        assert run.reconfig_cost == 3
+        assert run.drop_cost == 0
+
+    def test_schedule_matches_ledger(self):
+        jobs = [J(0, 0, 2), J(1, 0, 2), J(0, 2, 2)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        run = simulate(inst, PinnedPolicy([0]), n=1)
+        led = validate_schedule(run.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == run.ledger.total_cost
+        assert led.reconfig_cost == run.ledger.reconfig_cost
+        assert led.drop_cost == run.ledger.drop_cost
+
+    def test_record_events_false_keeps_costs(self):
+        jobs = [J(0, 0, 2), J(1, 0, 2)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        loud = simulate(inst, PinnedPolicy([0]), n=1, record_events=True)
+        quiet = simulate(inst, PinnedPolicy([0]), n=1, record_events=False)
+        assert loud.total_cost == quiet.total_cost
+        assert len(quiet.events) == 0
+        # The explicit schedule is always recorded.
+        assert quiet.schedule.executed_uids() == loud.schedule.executed_uids()
+
+
+class TestStateViews:
+    def test_is_idle_and_earliest_deadline(self):
+        inst = Instance(RequestSequence([J(0, 0, 4, uid=1)]), delta=1)
+        sim = Simulator(inst, PinnedPolicy([]), n=1)
+        sim.step(0)
+        assert not sim.is_idle(0)
+        assert sim.earliest_deadline(0) == 4
+        assert sim.is_idle(3)
+
+    def test_cached_colors_view(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        sim = Simulator(inst, PinnedPolicy([0, 0]), n=2)
+        sim.step(0)
+        assert sim.cached_colors() == {0: 2}

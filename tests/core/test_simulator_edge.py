@@ -1,0 +1,74 @@
+"""Edge-case tests for the simulator not covered by the main suite."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import Policy, Simulator, simulate
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+class Pin(Policy):
+    def __init__(self, colors):
+        self.colors = colors
+
+    def desired_configuration(self, rnd, mini):
+        return self.colors
+
+
+class TestPartialHorizon:
+    def test_run_with_shorter_horizon(self):
+        inst = Instance(RequestSequence([J(0, 0, 2), J(0, 4, 2)]), delta=1)
+        sim = Simulator(inst, Pin([0]), n=1)
+        result = sim.run(horizon=2)
+        # Only the first job's window was simulated.
+        assert len(result.executed_uids) == 1
+        assert sim.round == 1
+
+    def test_stepping_after_run_continues(self):
+        inst = Instance(RequestSequence([J(0, 0, 2), J(0, 4, 2)]), delta=1)
+        sim = Simulator(inst, Pin([0]), n=1)
+        sim.run(horizon=3)
+        sim.step(3)
+        sim.step(4)
+        assert len(sim.executed_uids) == 2
+
+    def test_run_past_sequence_horizon_is_quiet(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)], horizon=10), delta=1)
+        result = simulate(inst, Pin([0]), n=1)
+        assert result.total_cost == 1  # one reconfig, no drops, 7 idle rounds
+
+
+class TestSpeedThree:
+    """The paper only needs speeds 1 and 2; the engine supports any."""
+
+    def test_triple_speed_executes_three_per_round(self):
+        jobs = [J(0, 0, 1) for _ in range(3)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        result = simulate(inst, Pin([0]), n=1, speed=3)
+        assert len(result.executed_uids) == 3
+
+    def test_mini_round_indices_recorded(self):
+        jobs = [J(0, 0, 1) for _ in range(3)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        result = simulate(inst, Pin([0]), n=1, speed=3)
+        minis = {ex.mini for ex in result.schedule.executions}
+        assert minis == {0, 1, 2}
+
+
+class TestLedgerViews:
+    def test_result_cost_properties(self):
+        inst = Instance(RequestSequence([J(0, 0, 1), J(1, 0, 1)]), delta=2)
+        result = simulate(inst, Pin([0]), n=1)
+        assert result.total_cost == result.reconfig_cost + result.drop_cost
+        assert result.reconfig_cost == 2
+        assert result.drop_cost == 1
+
+    def test_ledger_repr_mentions_costs(self):
+        inst = Instance(RequestSequence([J(0, 0, 1)]), delta=2)
+        result = simulate(inst, Pin([0]), n=1)
+        text = repr(result.ledger)
+        assert "delta=2" in text

@@ -1,0 +1,146 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "poisson" in out
+
+
+class TestExperiment:
+    def test_runs_quick_experiment(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix A" in out
+
+    def test_lowercase_id(self, capsys):
+        assert main(["experiment", "e12"]) == 0
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "E99"])
+
+
+class TestSolve:
+    def test_pipeline_solve(self, capsys):
+        assert main([
+            "solve", "--workload", "poisson", "--n", "8",
+            "--delta", "2", "--seed", "1", "--horizon", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total_cost" in out
+        assert "[2 | 1 | D_l | 1]" in out
+
+    def test_direct_policy_solve(self, capsys):
+        assert main([
+            "solve", "--workload", "rate-limited", "--policy", "dlru-edf",
+            "--n", "8", "--delta", "2", "--horizon", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completion_rate" in out
+
+    def test_baseline_policy_solve(self, capsys):
+        assert main([
+            "solve", "--workload", "uniform", "--policy", "greedy",
+            "--n", "4", "--delta", "2", "--horizon", "16",
+        ]) == 0
+
+
+class TestArgumentValidation:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_workload(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--workload", "nonsense"])
+
+
+class TestTraceCommands:
+    def test_trace_save_and_solve(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        assert main([
+            "trace", "--workload", "uniform", "--delta", "2",
+            "--horizon", "16", "--out", str(path),
+        ]) == 0
+        assert path.exists()
+        assert main(["solve", "--trace", str(path), "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "total_cost" in out
+
+    def test_trace_reload_is_deterministic(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        main(["trace", "--workload", "bursty", "--delta", "3",
+              "--horizon", "64", "--seed", "5", "--out", str(path)])
+        capsys.readouterr()
+        main(["solve", "--trace", str(path), "--n", "8"])
+        first = capsys.readouterr().out
+        main(["solve", "--trace", str(path), "--n", "8"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_timeline_flag(self, capsys):
+        assert main([
+            "solve", "--workload", "uniform", "--horizon", "12",
+            "--n", "4", "--policy", "greedy", "--timeline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "utilization" in out
+
+
+class TestVerifyCommand:
+    def test_verify_clean_trace(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        main(["trace", "--workload", "rate-limited", "--delta", "2",
+              "--horizon", "32", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["verify", "--trace", str(path), "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+        assert "Theorem 1" in out
+
+    def test_verify_routes_general_traces_to_theorem_3(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        main(["trace", "--workload", "poisson", "--delta", "2",
+              "--horizon", "32", "--out", str(path)])
+        capsys.readouterr()
+        main(["verify", "--trace", str(path), "--n", "8"])
+        assert "Theorem 3" in capsys.readouterr().out
+
+
+class TestAllCommand:
+    def test_all_runs_registry_subset(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments.adversarial import run_e1, run_e4
+
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS", {"E1": run_e1, "E4": run_e4}
+        )
+        assert main(["all", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "## E1" in out
+        assert "## E4" in out
+        assert "2/2 experiments passed" in out
+
+
+class TestEveryPolicyChoice:
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("policy", [
+        "dlru", "edf", "dlru-edf", "static", "classic-lru", "greedy",
+    ])
+    def test_solve_with_each_policy(self, policy, capsys):
+        assert main([
+            "solve", "--workload", "rate-limited", "--policy", policy,
+            "--n", "8", "--delta", "2", "--horizon", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total_cost" in out

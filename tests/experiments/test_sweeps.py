@@ -1,0 +1,65 @@
+"""Unit tests for the sweep infrastructure."""
+
+from repro.experiments.sweeps import SweepResult, grid, run_sweep
+from repro.reductions.pipeline import solve_rate_limited
+from repro.workloads.generators import rate_limited_workload
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(points) == 6
+        assert {"a": 1, "b": "z"} in points
+
+    def test_single_axis(self):
+        assert grid(n=[4, 8]) == [{"n": 4}, {"n": 8}]
+
+    def test_empty(self):
+        assert grid() == [{}]
+
+
+class TestRunSweep:
+    def test_collects_long_form_rows(self):
+        points = grid(seed=[0, 1], n=[8, 16])
+
+        def build(p):
+            return rate_limited_workload(
+                num_colors=3, horizon=16, delta=2, seed=p["seed"]
+            )
+
+        def run(instance, p):
+            res = solve_rate_limited(instance, n=p["n"], record_events=False)
+            return {"cost": res.total_cost}
+
+        result = run_sweep(points, build, run)
+        assert len(result.rows) == 4
+        assert all("cost" in r and "seed" in r and "n" in r for r in result.rows)
+
+    def test_pivot_shape(self):
+        result = SweepResult(rows=[
+            {"seed": 0, "n": 8, "cost": 10},
+            {"seed": 0, "n": 16, "cost": 7},
+            {"seed": 1, "n": 8, "cost": 12},
+            {"seed": 1, "n": 16, "cost": 9},
+        ])
+        table = result.pivot("seed", "n", "cost", title="demo")
+        text = table.render()
+        assert "n=8" in text and "n=16" in text
+        assert "12" in text
+
+    def test_pivot_missing_cells_dashed(self):
+        result = SweepResult(rows=[{"seed": 0, "n": 8, "cost": 10}])
+        result.rows.append({"seed": 1, "n": 16, "cost": 9})
+        text = result.pivot("seed", "n", "cost").render()
+        assert "-" in text
+
+    def test_where_filters(self):
+        result = SweepResult(rows=[
+            {"seed": 0, "cost": 1},
+            {"seed": 1, "cost": 2},
+        ])
+        assert result.where(seed=1).column("cost") == [2]
+
+    def test_column(self):
+        result = SweepResult(rows=[{"x": 3}, {"x": 5}])
+        assert result.column("x") == [3, 5]

@@ -1,0 +1,131 @@
+"""The counterexample corpus.
+
+Concrete mini-instances discovered by hypothesis during development, kept
+as named regression tests.  Each one witnesses a *precondition* of one of
+the paper's claims: remove the precondition and the claim is false, so
+these instances guard both the implementation and the documentation
+(docs/reproduction_notes.md) that explains them.
+"""
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import SeqEDFPolicy
+from repro.policies.par_edf import par_edf_run
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class TestCorollary31NeedsRateLimiting:
+    """Three bound-1 jobs of one color in one batch, m = 3.
+
+    Par-EDF's three unrestricted slots serve all three in the single round;
+    DS-Seq-EDF caches *distinct* colors, so only one resource can hold the
+    color and only two jobs run (one per mini-round).  The batch exceeds
+    D_l = 1, violating the rate limit — which is exactly why Lemma 3.8
+    assumes it.
+    """
+
+    def make(self):
+        return RequestSequence([J(0, 0, 1), J(0, 0, 1), J(0, 0, 1)])
+
+    def test_par_edf_serves_everything(self):
+        assert par_edf_run(self.make(), 3).drop_count == 0
+
+    def test_ds_seq_edf_must_drop(self):
+        run = simulate(
+            Instance(self.make(), 1),
+            SeqEDFPolicy(1, gate_eligibility=False),
+            n=3, speed=2, record_events=False,
+        )
+        assert run.drop_cost == 1  # the corollary's inequality fails here
+
+    def test_rate_limited_version_is_fine(self):
+        """Cap the batch at D_l = 1 job and the corollary holds again."""
+        seq = RequestSequence([J(0, 0, 1)])
+        run = simulate(
+            Instance(seq, 1), SeqEDFPolicy(1, gate_eligibility=False),
+            n=3, speed=2, record_events=False,
+        )
+        assert run.drop_cost <= par_edf_run(seq, 3).drop_count
+
+
+class TestCorollary31NeedsUngatedEligibility:
+    """A color with fewer than Delta jobs starves under the gated variant."""
+
+    def make(self):
+        return RequestSequence([J(0, 0, 2), J(0, 0, 2)])
+
+    def test_gated_ds_seq_edf_drops_small_colors(self):
+        run = simulate(
+            Instance(self.make(), 5),
+            SeqEDFPolicy(5, gate_eligibility=True),
+            n=2, speed=2, record_events=False,
+        )
+        assert run.drop_cost == 2
+
+    def test_ungated_ds_seq_edf_serves_them(self):
+        run = simulate(
+            Instance(self.make(), 5),
+            SeqEDFPolicy(5, gate_eligibility=False),
+            n=2, speed=2, record_events=False,
+        )
+        assert run.drop_cost == 0
+
+    def test_par_edf_floor_would_be_violated_by_gating(self):
+        assert par_edf_run(self.make(), 2).drop_count == 0
+
+
+class TestLemma310NeedsMEqualsNOver8:
+    """Three bound-1 colors, Delta=1, n=4: at the m = n/4 reading the chain
+    breaks; at m = n/8 (n=8 here) it holds.
+
+    Round 1 delivers two eligible colors; with n=4 the combination holds
+    only 2 distinct colors (1 LRU + 1 EDF) and the LRU slot is wasted on a
+    stale idle color, so an *eligible* job drops — while DS-Seq-EDF with
+    one double-speed resource serves both arrivals.
+    """
+
+    def make(self):
+        return RequestSequence([J(0, 0, 1), J(1, 1, 1), J(2, 1, 1)])
+
+    def eligible_drops(self, n):
+        policy = DeltaLRUEDFPolicy(1)
+        run = simulate(Instance(self.make(), 1), policy, n=n,
+                       record_events=False)
+        return run.drop_cost - len(policy.state.ineligible_drop_uids())
+
+    def ds_drops(self, m):
+        alpha = self.make()  # no ineligible drops here; alpha == sigma
+        run = simulate(
+            Instance(alpha, 1), SeqEDFPolicy(1, gate_eligibility=False),
+            n=m, speed=2, record_events=False,
+        )
+        return run.drop_cost
+
+    def test_chain_breaks_at_n4_with_m_n_over_4(self):
+        assert self.eligible_drops(n=4) == 1
+        assert self.ds_drops(m=1) == 0  # 1 = n/4 for n=4: 1 > 0 — broken
+
+    def test_chain_holds_at_n8_with_m_n_over_8(self):
+        assert self.eligible_drops(n=8) == 0
+        assert self.eligible_drops(n=8) <= self.ds_drops(m=1)  # 1 = n/8
+
+
+class TestAppendixTieBreakMatters:
+    """Appendix A's round-0 all-zero-timestamp tie must favor short colors
+    for the construction's closed form to hold (reproduction notes §5)."""
+
+    def test_short_colors_win_the_initial_tie(self):
+        from repro.workloads.adversarial import anti_dlru_instance
+        from repro.policies.dlru import DeltaLRUPolicy
+
+        inst = anti_dlru_instance(n=4, j=2, k=4, delta=1)
+        run = simulate(inst, DeltaLRUPolicy(1), n=4)
+        round0_colors = {
+            rc.new_color for rc in run.events.reconfigs() if rc.round == 0
+        }
+        assert round0_colors == {0, 1}  # the two short colors, not the long

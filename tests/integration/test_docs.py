@@ -1,0 +1,49 @@
+"""Documentation guards.
+
+Extract and execute the Python code blocks in README.md and docs/model.md —
+documentation that drifts from the API should fail CI, not readers.  Also
+smoke-runs the fastest examples in-process.
+"""
+
+import pathlib
+import re
+import runpy
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_quickstart_block_runs(self):
+        blocks = python_blocks(ROOT / "README.md")
+        assert blocks, "README lost its quickstart code block"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README.md", "exec"), namespace)
+
+
+class TestModelDocSnippets:
+    def test_all_blocks_run_in_sequence(self):
+        blocks = python_blocks(ROOT / "docs" / "model.md")
+        assert len(blocks) >= 2, "docs/model.md lost its code blocks"
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"docs/model.md[{i}]", "exec"), namespace)
+
+
+class TestFastExamples:
+    @pytest.mark.parametrize("script", [
+        "quickstart.py",
+        "taxonomy_tour.py",
+        "debugging_workflow.py",
+        "adversarial_analysis.py",
+    ])
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(ROOT / "examples" / script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script} produced no output"

@@ -1,0 +1,108 @@
+"""Robustness tests: misbehaving policies and degenerate inputs.
+
+The simulator owns the model's invariants; a policy that asks for the
+impossible must be stopped at the boundary, and degenerate-but-legal inputs
+must flow through every layer.
+"""
+
+import pytest
+
+from repro.core.job import BLACK, Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import Policy, simulate
+from repro.reductions.pipeline import solve_batched, solve_online, solve_rate_limited
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class OverAskingPolicy(Policy):
+    def desired_configuration(self, rnd, mini):
+        return [0] * (self.sim.n + 1)
+
+
+class BlackAskingPolicy(Policy):
+    def desired_configuration(self, rnd, mini):
+        return [BLACK, 0]
+
+
+class NoisyPolicy(Policy):
+    """Changes its mind completely every round."""
+
+    def desired_configuration(self, rnd, mini):
+        return [(rnd + i) % 5 for i in range(self.sim.n)]
+
+
+class TestMisbehavingPolicies:
+    def test_over_asking_policy_rejected(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        with pytest.raises(ValueError, match="resources"):
+            simulate(inst, OverAskingPolicy(), n=2)
+
+    def test_black_in_desired_is_ignored(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        run = simulate(inst, BlackAskingPolicy(), n=2)
+        assert run.drop_cost == 0  # color 0 configured, job executed
+
+    def test_noisy_policy_still_yields_valid_schedule(self):
+        from repro.core.schedule import validate_schedule
+
+        jobs = [J(c % 5, r, 2) for r in range(10) for c in range(3)]
+        inst = Instance(RequestSequence(jobs), delta=1)
+        run = simulate(inst, NoisyPolicy(), n=4)
+        led = validate_schedule(run.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == run.total_cost
+
+
+class TestDegenerateInputs:
+    def test_empty_instance_through_every_solver(self):
+        inst = Instance(RequestSequence([]), delta=2)
+        for solver in (solve_rate_limited, solve_batched, solve_online):
+            assert solver(inst, n=8).total_cost == 0
+
+    def test_single_job_instance(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        res = solve_online(inst, n=8)
+        assert res.total_cost <= 2  # reconfig or drop, nothing pathological
+
+    def test_one_round_horizon(self):
+        inst = Instance(RequestSequence([J(0, 0, 1)]), delta=1)
+        res = solve_online(inst, n=4)
+        assert res.total_cost >= 0
+
+    def test_huge_delay_bound(self):
+        inst = Instance(RequestSequence([J(0, 0, 1 << 16)]), delta=1)
+        res = solve_online(inst, n=4, record_events=False)
+        assert res.total_cost >= 0
+
+    def test_all_same_round_burst(self):
+        jobs = [J(0, 0, 4) for _ in range(100)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        res = solve_batched(inst, n=8)
+        # Capacity: at most n per round x 4 rounds = 32 executions.
+        executed = len(res.schedule.executed_uids())
+        assert executed <= 32
+        assert executed >= 16  # it should at least use the capacity it has
+
+    def test_many_distinct_colors_single_jobs(self):
+        jobs = [J(c, 0, 4) for c in range(50)]
+        inst = Instance(RequestSequence(jobs), delta=3)
+        res = solve_batched(inst, n=8)
+        # Every color has < Delta jobs: eligible never fires; everything
+        # drops at unit cost (Lemma 3.1's regime).
+        assert res.reconfig_cost == 0
+        assert res.drop_cost == 50
+
+    def test_zero_resource_request_rejected(self):
+        inst = Instance(RequestSequence([J(0, 0, 2)]), delta=1)
+        with pytest.raises(ValueError):
+            simulate(inst, NoisyPolicy(), n=0)
+
+    def test_interleaved_extreme_bounds(self):
+        jobs = [J(0, r, 1) for r in range(8)] + [J(1, 0, 1 << 10)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        res = solve_online(inst, n=8, record_events=False)
+        from repro.core.schedule import validate_schedule
+
+        validate_schedule(res.schedule, inst.sequence, inst.delta)

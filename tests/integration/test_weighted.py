@@ -1,0 +1,119 @@
+"""Tests for the per-color drop-cost extension."""
+
+import pytest
+
+from repro.core.schedule import Schedule, validate_schedule
+from repro.extensions.weighted import (
+    WeightAwarePolicy,
+    run_weighted,
+    weighted_cost,
+    weighted_workload,
+    weights_of,
+)
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+
+
+class TestWeightedWorkload:
+    def test_uniform_delay_bound(self):
+        inst = weighted_workload(seed=1)
+        bounds = set(inst.sequence.delay_bounds().values())
+        assert len(bounds) == 1
+
+    def test_weights_mean_one(self):
+        inst = weighted_workload(num_colors=10, seed=2, weight_skew=1.2)
+        weights = weights_of(inst)
+        assert sum(weights.values()) == pytest.approx(10.0)
+
+    def test_skew_zero_is_uniform(self):
+        inst = weighted_workload(num_colors=5, seed=3, weight_skew=0.0)
+        assert set(weights_of(inst).values()) == {1.0}
+
+    def test_deterministic(self):
+        a = weighted_workload(seed=4)
+        b = weighted_workload(seed=4)
+        assert a.sequence.num_jobs == b.sequence.num_jobs
+        assert weights_of(a) == weights_of(b)
+
+
+class TestWeightedCost:
+    def test_unit_weights_match_standard_cost(self):
+        inst = weighted_workload(num_colors=5, seed=5, weight_skew=0.0)
+        run = simulate(inst, DeltaLRUEDFPolicy(inst.delta), n=8)
+        assert weighted_cost(run.schedule, inst) == pytest.approx(run.total_cost)
+
+    def test_empty_schedule_costs_total_weight(self):
+        inst = weighted_workload(num_colors=4, horizon=16, seed=6, weight_skew=1.0)
+        weights = weights_of(inst)
+        expected = sum(weights[j.color] for j in inst.sequence.jobs())
+        assert weighted_cost(Schedule(n=1), inst) == pytest.approx(expected)
+
+    def test_default_weights_when_absent(self):
+        from repro.workloads.generators import rate_limited_workload
+
+        inst = rate_limited_workload(num_colors=3, horizon=16, delta=2, seed=7)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        assert weighted_cost(run.schedule, inst) == pytest.approx(run.total_cost)
+
+
+class TestWeightAwarePolicy:
+    def test_unit_weights_reproduce_vanilla_exactly(self):
+        """With w_l = 1 the weighted counter equals the job count, so the
+        two policies must produce identical schedules."""
+        inst = weighted_workload(num_colors=6, horizon=64, seed=8, weight_skew=0.0)
+        vanilla = simulate(inst, DeltaLRUEDFPolicy(inst.delta), n=8)
+        aware = simulate(
+            inst, WeightAwarePolicy(inst.delta, weights_of(inst)), n=8
+        )
+        assert vanilla.total_cost == aware.total_cost
+        assert vanilla.schedule.executed_uids() == aware.schedule.executed_uids()
+
+    def test_expensive_color_becomes_eligible_faster(self):
+        from repro.core.job import Job
+        from repro.core.request import Instance, RequestSequence
+
+        # Two jobs of weight 3 reach the Delta=5 threshold; two of weight 1
+        # do not.
+        jobs = [Job(color=0, arrival=0, delay_bound=4) for _ in range(2)]
+        jobs += [Job(color=1, arrival=0, delay_bound=4) for _ in range(2)]
+        inst = Instance(
+            RequestSequence(jobs), delta=5,
+            metadata={"weights": {0: 3.0, 1: 1.0}},
+        )
+        policy = WeightAwarePolicy(5, {0: 3.0, 1: 1.0})
+        simulate(inst, policy, n=4)
+        assert policy.state.states[0].eligible
+        assert not policy.state.states[1].eligible
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_weighted_schedules_validate(self, seed):
+        inst = weighted_workload(num_colors=6, horizon=64, seed=seed, weight_skew=1.5)
+        run, _ = run_weighted(inst, n=8, weight_aware=True, record_events=True)
+        led = validate_schedule(run.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == run.total_cost  # unit-cost ledger still exact
+
+    def test_awareness_helps_under_skew(self):
+        inst = weighted_workload(num_colors=8, horizon=128, delta=4, seed=0,
+                                 weight_skew=2.0)
+        _, blind = run_weighted(inst, n=8, weight_aware=False)
+        _, aware = run_weighted(inst, n=8, weight_aware=True)
+        assert aware < blind
+
+
+class TestWeightedProperties:
+    def test_skew_zero_equivalence_under_hypothesis(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(seed=st.integers(0, 50), delta=st.integers(1, 5))
+        @settings(max_examples=20, deadline=None)
+        def check(seed, delta):
+            inst = weighted_workload(
+                num_colors=5, horizon=32, delta=delta, seed=seed,
+                weight_skew=0.0,
+            )
+            _, blind = run_weighted(inst, n=8, weight_aware=False)
+            _, aware = run_weighted(inst, n=8, weight_aware=True)
+            assert blind == pytest.approx(aware)
+
+        check()

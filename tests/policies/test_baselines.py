@@ -1,0 +1,107 @@
+"""Unit tests for the baseline policies."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.baselines import (
+    ClassicLRUPolicy,
+    GreedyUtilizationPolicy,
+    StaticPartitionPolicy,
+)
+
+
+def inst_of(jobs, delta=2):
+    return Instance(RequestSequence(jobs), delta=delta)
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class TestStaticPartition:
+    def test_first_seen_allocation(self):
+        inst = inst_of([J(0, 0, 2), J(1, 0, 2), J(2, 1, 2)])
+        run = simulate(inst, StaticPartitionPolicy(), n=2)
+        # Colors 0 and 1 claim the two locations; color 2 starves.
+        assert run.reconfig_cost == 2 * inst.delta
+        dropped_colors = {
+            e.job.color for e in run.events.drops()
+        }
+        assert 2 in dropped_colors
+
+    def test_never_reconfigures_after_allocation(self):
+        jobs = [J(c, r, 2) for r in range(0, 10, 2) for c in range(2)]
+        inst = inst_of(jobs)
+        run = simulate(inst, StaticPartitionPolicy(), n=2)
+        assert run.ledger.reconfig_count == 2
+
+    def test_explicit_allocation(self):
+        inst = inst_of([J(0, 0, 2), J(1, 0, 2)])
+        run = simulate(inst, StaticPartitionPolicy(allocation=[1]), n=1)
+        executed_colors = {e.job.color for e in run.events.executions()}
+        assert executed_colors == {1}
+
+    def test_allocation_larger_than_n_rejected(self):
+        inst = inst_of([J(0, 0, 2)])
+        with pytest.raises(ValueError):
+            simulate(inst, StaticPartitionPolicy(allocation=[0, 1]), n=1)
+
+    def test_schedule_validates(self):
+        jobs = [J(c % 3, r, 2) for r in range(0, 8, 2) for c in range(4)]
+        inst = inst_of(jobs)
+        run = simulate(inst, StaticPartitionPolicy(), n=2)
+        validate_schedule(run.schedule, inst.sequence, inst.delta)
+
+
+class TestClassicLRU:
+    def test_caches_most_recent_colors(self):
+        inst = inst_of([J(0, 0, 4), J(1, 1, 4), J(2, 2, 4)])
+        run = simulate(inst, ClassicLRUPolicy(), n=2)
+        # At round 2, colors 2 and 1 are the two most recent.
+        configured_at_2 = {
+            rc.new_color for rc in run.events.reconfigs() if rc.round == 2
+        }
+        assert 2 in configured_at_2
+
+    def test_thrashing_on_rotation(self):
+        # Rotating arrivals of 4 colors through 2 slots: evictions per round.
+        jobs = [J(r % 4, r, 4) for r in range(16)]
+        inst = inst_of(jobs, delta=1)
+        run = simulate(inst, ClassicLRUPolicy(), n=2)
+        assert run.ledger.reconfig_count >= 12
+
+    def test_schedule_validates(self):
+        jobs = [J(r % 3, r, 2) for r in range(10)]
+        inst = inst_of(jobs)
+        run = simulate(inst, ClassicLRUPolicy(), n=2)
+        validate_schedule(run.schedule, inst.sequence, inst.delta)
+
+
+class TestGreedyUtilization:
+    def test_backlog_proportional_allocation(self):
+        jobs = [J(0, 0, 4) for _ in range(6)] + [J(1, 0, 4)]
+        inst = inst_of(jobs)
+        run = simulate(inst, GreedyUtilizationPolicy(), n=3)
+        round0 = [rc.new_color for rc in run.events.reconfigs() if rc.round == 0]
+        assert round0.count(0) >= 2
+
+    def test_idle_rounds_configure_nothing(self):
+        inst = inst_of([J(0, 4, 2)])
+        run = simulate(inst, GreedyUtilizationPolicy(), n=2)
+        early = [rc for rc in run.events.reconfigs() if rc.round < 4]
+        assert early == []
+
+    def test_executes_everything_with_enough_capacity(self):
+        jobs = [J(c, 0, 4) for c in range(3)]
+        inst = inst_of(jobs)
+        run = simulate(inst, GreedyUtilizationPolicy(), n=3)
+        assert run.drop_cost == 0
+
+    def test_schedule_validates(self):
+        jobs = [J(c % 4, r, 2) for r in range(0, 12, 2) for c in range(5)]
+        inst = inst_of(jobs)
+        run = simulate(inst, GreedyUtilizationPolicy(), n=3)
+        validate_schedule(run.schedule, inst.sequence, inst.delta)

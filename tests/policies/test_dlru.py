@@ -1,0 +1,96 @@
+"""Unit tests for algorithm DeltaLRU (Section 3.1.1)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.dlru import DeltaLRUPolicy
+from repro.workloads.adversarial import anti_dlru_instance, anti_dlru_offline_schedule
+
+
+def batched(jobs_spec, delta=1):
+    jobs = [
+        Job(color=c, arrival=a, delay_bound=b)
+        for c, a, b, count in jobs_spec
+        for _ in range(count)
+    ]
+    return Instance(RequestSequence(jobs), delta=delta)
+
+
+class TestDeltaLRUBasics:
+    def test_requires_even_n(self):
+        inst = batched([(0, 0, 2, 1)])
+        with pytest.raises(ValueError, match="even"):
+            simulate(inst, DeltaLRUPolicy(1), n=3)
+
+    def test_ineligible_color_never_cached(self):
+        # delta=5 but only 2 jobs: never wraps, never cached, all dropped.
+        inst = batched([(0, 0, 2, 2)], delta=5)
+        run = simulate(inst, DeltaLRUPolicy(5), n=2)
+        assert run.reconfig_cost == 0
+        assert run.drop_cost == 2
+
+    def test_eligible_color_cached_in_two_locations(self):
+        inst = batched([(0, 0, 4, 4)], delta=2)
+        run = simulate(inst, DeltaLRUPolicy(2), n=4)
+        # The color wraps at round 0, becomes eligible, gets cached twice.
+        reconfigs = run.events.reconfigs()
+        assert len(reconfigs) == 2
+        assert all(rc.new_color == 0 for rc in reconfigs)
+
+    def test_schedule_validates(self):
+        inst = batched([(0, 0, 2, 3), (1, 0, 4, 5), (0, 2, 2, 2)], delta=2)
+        run = simulate(inst, DeltaLRUPolicy(2), n=4)
+        led = validate_schedule(run.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == run.total_cost
+
+    def test_capacity_bound_respected(self):
+        # 4 eligible colors but capacity for only 2 distinct (n=4).
+        inst = batched([(c, 0, 2, 2) for c in range(4)], delta=1)
+        run = simulate(inst, DeltaLRUPolicy(1), n=4)
+        for rnd in range(inst.horizon):
+            colors = {
+                rc.new_color
+                for rc in run.events.reconfigs()
+                if rc.round == rnd
+            }
+            assert len(colors) <= 2
+
+
+class TestDeltaLRURecencyBehavior:
+    def test_keeps_recently_stamped_color_through_idleness(self):
+        # Color 0 wraps every boundary; color 1 wraps once at round 0.
+        spec = [(0, a, 2, 2) for a in range(0, 12, 2)] + [(1, 0, 2, 2)]
+        inst = batched(spec, delta=2)
+        run = simulate(inst, DeltaLRUPolicy(2), n=2)  # capacity 1 distinct
+        # After round 2 color 0's stamps dominate; color 1 evicted at most once.
+        late_reconfigs = [rc for rc in run.events.reconfigs() if rc.round >= 4]
+        assert all(rc.new_color == 0 for rc in late_reconfigs)
+
+
+class TestAppendixA:
+    def test_dlru_underutilizes_on_adversary(self):
+        inst = anti_dlru_instance(n=4, j=2, k=4, delta=1)
+        run = simulate(inst, DeltaLRUPolicy(1), n=4)
+        # DeltaLRU caches the short colors and drops every long job (2^k).
+        assert run.drop_cost == 2 ** 4
+        # Reconfigurations: n/2 short colors x 2 locations.
+        assert run.reconfig_cost == 4
+
+    def test_offline_beats_dlru(self):
+        inst = anti_dlru_instance(n=4, j=2, k=4, delta=1)
+        offline = anti_dlru_offline_schedule(inst)
+        led = validate_schedule(offline, inst.sequence, inst.delta)
+        run = simulate(inst, DeltaLRUPolicy(1), n=4)
+        assert run.total_cost > led.total_cost
+
+    def test_offline_cost_matches_closed_form(self):
+        n, j, k, delta = 4, 2, 4, 1
+        inst = anti_dlru_instance(n=n, j=j, k=k, delta=delta)
+        led = validate_schedule(
+            anti_dlru_offline_schedule(inst), inst.sequence, delta
+        )
+        # Delta (one reconfig) + 2^(k-j-1) * n * delta short-job drops.
+        assert led.total_cost == delta + 2 ** (k - j - 1) * n * delta

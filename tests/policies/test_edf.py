@@ -1,0 +1,105 @@
+"""Unit tests for algorithm EDF / Seq-EDF (Sections 3.1.2, 3.3)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.edf import EDFPolicy, SeqEDFPolicy
+from repro.workloads.adversarial import anti_edf_instance, anti_edf_offline_schedule
+
+
+def batched(jobs_spec, delta=1):
+    jobs = [
+        Job(color=c, arrival=a, delay_bound=b)
+        for c, a, b, count in jobs_spec
+        for _ in range(count)
+    ]
+    return Instance(RequestSequence(jobs), delta=delta)
+
+
+class TestEDFBasics:
+    def test_requires_even_n_with_replication(self):
+        inst = batched([(0, 0, 2, 1)])
+        with pytest.raises(ValueError, match="even"):
+            simulate(inst, EDFPolicy(1), n=3)
+
+    def test_seq_edf_accepts_odd_n(self):
+        inst = batched([(0, 0, 2, 1)])
+        simulate(inst, SeqEDFPolicy(1), n=3)  # should not raise
+
+    def test_caches_earliest_deadline_color(self):
+        # Color 0 (bound 2) urgent; color 1 (bound 8) relaxed; capacity 1.
+        inst = batched([(0, 0, 2, 2), (1, 0, 8, 8)], delta=1)
+        run = simulate(inst, EDFPolicy(1), n=2)
+        first = [rc for rc in run.events.reconfigs() if rc.round == 0]
+        assert {rc.new_color for rc in first} == {0}
+
+    def test_idle_color_ranks_below_nonidle(self):
+        # Color 0 has one job (executed round 0), then idle; color 1 stays
+        # nonidle.  After round 0, color 1 should displace color 0.
+        inst = batched([(0, 0, 4, 2), (1, 0, 4, 8)], delta=1)
+        run = simulate(inst, EDFPolicy(1), n=2)
+        rc1 = [rc for rc in run.events.reconfigs() if rc.round == 1]
+        assert {rc.new_color for rc in rc1} == {1}
+
+    def test_schedule_validates(self):
+        inst = batched([(0, 0, 2, 3), (1, 0, 4, 5), (0, 2, 2, 2)], delta=2)
+        run = simulate(inst, EDFPolicy(2), n=4)
+        led = validate_schedule(run.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == run.total_cost
+
+    def test_ungated_executes_small_colors(self):
+        # With delta=5 and only 2 jobs, the gated variant drops everything;
+        # ungated executes them.
+        inst = batched([(0, 0, 2, 2)], delta=5)
+        gated = simulate(inst, EDFPolicy(5), n=2)
+        ungated = simulate(inst, EDFPolicy(5, gate_eligibility=False), n=2)
+        assert gated.drop_cost == 2
+        assert ungated.drop_cost == 0
+
+
+class TestDoubleSpeed:
+    def test_ds_seq_edf_executes_twice_per_round(self):
+        inst = batched([(0, 0, 1, 1), (0, 1, 1, 2)], delta=1)
+        run = simulate(inst, SeqEDFPolicy(1), n=1, speed=2)
+        assert len(run.executed_uids) == 3
+
+    def test_ds_drops_at_most_uni_speed(self):
+        inst = batched([(0, 0, 2, 4), (1, 0, 2, 4), (0, 2, 2, 4)], delta=1)
+        uni = simulate(inst, SeqEDFPolicy(1), n=2, speed=1)
+        double = simulate(inst, SeqEDFPolicy(1), n=2, speed=2)
+        assert double.drop_cost <= uni.drop_cost
+
+
+class TestAppendixB:
+    def test_edf_thrashes_on_adversary(self):
+        inst = anti_edf_instance(n=4, j=3, k=5, delta=5)
+        run = simulate(inst, EDFPolicy(5), n=4)
+        offline = validate_schedule(
+            anti_edf_offline_schedule(inst), inst.sequence, inst.delta
+        )
+        assert offline.drop_cost == 0
+        assert run.total_cost > offline.total_cost
+        # The damage is reconfiguration (thrashing), not drops.
+        assert run.reconfig_cost > run.drop_cost
+
+    def test_offline_cost_matches_closed_form(self):
+        n, j, k, delta = 4, 3, 5, 5
+        inst = anti_edf_instance(n=n, j=j, k=k, delta=delta)
+        led = validate_schedule(
+            anti_edf_offline_schedule(inst), inst.sequence, delta
+        )
+        assert led.total_cost == (n // 2 + 1) * delta
+
+    def test_ratio_grows_with_k(self):
+        ratios = []
+        for k in (4, 6):
+            inst = anti_edf_instance(n=4, j=3, k=k, delta=5)
+            run = simulate(inst, EDFPolicy(5), n=4, record_events=False)
+            led = validate_schedule(
+                anti_edf_offline_schedule(inst), inst.sequence, inst.delta
+            )
+            ratios.append(run.total_cost / led.total_cost)
+        assert ratios[1] > ratios[0]

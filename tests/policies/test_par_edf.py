@@ -1,0 +1,68 @@
+"""Unit tests for Par-EDF (Section 3.3)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import RequestSequence
+from repro.policies.par_edf import min_drop_cost, par_edf_run
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+class TestParEDF:
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            par_edf_run(RequestSequence([]), 0)
+
+    def test_executes_everything_when_capacity_suffices(self):
+        seq = RequestSequence([J(c, 0, 4) for c in range(4)])
+        result = par_edf_run(seq, 4)
+        assert result.is_nice
+        assert result.executed_count == 4
+
+    def test_drops_overload(self):
+        # 5 jobs, deadline 1, one slot.
+        seq = RequestSequence([J(0, 0, 1) for _ in range(5)])
+        result = par_edf_run(seq, 1)
+        assert result.drop_count == 4
+        assert result.executed_count == 1
+
+    def test_earliest_deadline_priority(self):
+        urgent = J(0, 0, 1, uid=1)
+        relaxed = J(1, 0, 8, uid=2)
+        result = par_edf_run(RequestSequence([urgent, relaxed]), 1)
+        assert 1 in result.executed_uids
+        assert 2 in result.executed_uids  # executed later, capacity permits
+
+    def test_leftover_pending_counts_as_dropped(self):
+        seq = RequestSequence([J(0, 0, 4) for _ in range(8)], horizon=5)
+        result = par_edf_run(seq, 1, horizon=2)
+        assert result.executed_count == 2
+        assert result.drop_count == 6
+
+    def test_monotone_in_m(self):
+        seq = RequestSequence(
+            [J(c % 3, r, 2) for r in range(0, 8, 2) for c in range(4)]
+        )
+        drops = [min_drop_cost(seq, m) for m in (1, 2, 3, 4)]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_executions_recorded_in_order(self):
+        seq = RequestSequence([J(0, 0, 2), J(0, 0, 2)])
+        result = par_edf_run(seq, 1)
+        rounds = [rnd for rnd, _ in result.executions]
+        assert rounds == sorted(rounds)
+
+    def test_lower_bounds_any_schedule_drop_cost(self):
+        """Lemma 3.7 sanity: Par-EDF(m) drops <= drops of a concrete policy."""
+        from repro.core.request import Instance
+        from repro.core.simulator import simulate
+        from repro.policies.baselines import GreedyUtilizationPolicy
+
+        jobs = [J(c % 3, r, 2) for r in range(0, 12, 2) for c in range(5)]
+        seq = RequestSequence(jobs)
+        inst = Instance(seq, delta=1)
+        run = simulate(inst, GreedyUtilizationPolicy(), n=2, record_events=False)
+        assert min_drop_cost(seq, 2) <= run.drop_cost

@@ -1,0 +1,185 @@
+"""Unit tests for repro.policies.state (the Section-3 bookkeeping)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Request
+from repro.policies.state import ColorState, SectionThreeState
+
+
+def J(color, arrival, bound, **kw):
+    return Job(color=color, arrival=arrival, delay_bound=bound, **kw)
+
+
+def request(rnd, *jobs):
+    return Request(rnd, tuple(jobs))
+
+
+def never_cached(color):
+    return False
+
+
+def always_cached(color):
+    return True
+
+
+class TestCounterAndEligibility:
+    def test_counter_accumulates(self):
+        state = SectionThreeState(delta=5)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2), J(0, 0, 2)))
+        assert state.state(0).cnt == 2
+        assert not state.state(0).eligible
+
+    def test_wrap_makes_eligible(self):
+        state = SectionThreeState(delta=3)
+        state.on_arrival_phase(0, request(0, *[J(0, 0, 2) for _ in range(4)]))
+        st = state.state(0)
+        assert st.eligible
+        assert st.cnt == 1  # 4 mod 3
+
+    def test_exact_delta_wraps_to_zero(self):
+        state = SectionThreeState(delta=3)
+        state.on_arrival_phase(0, request(0, *[J(0, 0, 2) for _ in range(3)]))
+        assert state.state(0).cnt == 0
+        assert state.state(0).eligible
+
+    def test_arrivals_off_batch_boundary_ignored(self):
+        # The Section-3 machinery assumes batched input; a request at a
+        # non-multiple of D_l leaves the color's counter untouched.
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 4)))
+        st_before = state.state(0).cnt
+        state.on_arrival_phase(1, request(1, J(0, 1, 4)))
+        assert state.state(0).cnt == st_before
+
+    def test_deadline_updated_every_boundary(self):
+        state = SectionThreeState(delta=2)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        assert state.state(0).dd == 2
+        state.on_arrival_phase(2, request(2))
+        assert state.state(0).dd == 4
+
+    def test_ineligibility_at_boundary_when_uncached(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        assert state.state(0).eligible
+        state.on_drop_phase(2, [], cached=never_cached)
+        assert not state.state(0).eligible
+        assert state.state(0).cnt == 0
+
+    def test_cached_color_stays_eligible(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        state.on_drop_phase(2, [], cached=always_cached)
+        assert state.state(0).eligible
+
+    def test_ineligibility_only_at_own_boundary(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 4)))
+        state.on_drop_phase(2, [], cached=never_cached)  # not a multiple of 4
+        assert state.state(0).eligible
+        state.on_drop_phase(4, [], cached=never_cached)
+        assert not state.state(0).eligible
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            SectionThreeState(delta=0)
+
+    def test_unknown_color_without_bound(self):
+        with pytest.raises(KeyError):
+            SectionThreeState(delta=1).state(42)
+
+
+class TestTimestamps:
+    def test_no_wrap_means_zero(self):
+        st = ColorState(color=0, delay_bound=4)
+        assert st.timestamp(10) == 0
+
+    def test_wrap_matures_one_bound_later(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(4, request(4, J(0, 4, 4)))
+        st = state.state(0)
+        # Wrap happened at round 4; within [4, 8) the latest boundary is 4,
+        # and the wrap is not strictly before it.
+        assert st.timestamp(4) == 0
+        assert st.timestamp(7) == 0
+        # From round 8 the boundary is 8 > 4.
+        assert st.timestamp(8) == 4
+
+    def test_second_wrap_shadows_first_only_when_mature(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(4, request(4, J(0, 4, 4)))
+        state.on_arrival_phase(8, request(8, J(0, 8, 4)))
+        st = state.state(0)
+        assert st.timestamp(8) == 4   # wrap@8 not yet mature
+        assert st.timestamp(12) == 8  # now it is
+
+    def test_lru_order_most_recent_first(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2), J(1, 0, 2)))
+        state.on_arrival_phase(2, request(2, J(0, 2, 2)))
+        # At round 4: color 0 wrapped at 0 and 2 (ts=2), color 1 at 0 (ts=0).
+        order = state.lru_order(4)
+        assert order == [0, 1]
+
+    def test_lru_order_ties_broken_by_color(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(1, 0, 2), J(0, 0, 2)))
+        assert state.lru_order(2) == [0, 1]
+
+
+class TestEpochAccounting:
+    def test_epoch_completes_on_ineligibility(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        state.on_drop_phase(2, [], cached=never_cached)
+        assert state.state(0).epochs_completed == 1
+        assert state.num_epochs == 2  # one complete + the live next epoch
+
+    def test_num_epochs_counts_only_seen_colors(self):
+        state = SectionThreeState(delta=2)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        assert state.num_epochs == 1
+
+    def test_ineligible_drops_recorded(self):
+        state = SectionThreeState(delta=10)
+        job = J(0, 0, 2)
+        state.on_arrival_phase(0, request(0, job))
+        state.on_drop_phase(2, [job], cached=never_cached)
+        assert state.total_ineligible_drops == 1
+        assert job.uid in state.ineligible_drop_uids()
+
+    def test_eligible_drop_not_counted(self):
+        state = SectionThreeState(delta=1)
+        job = J(0, 0, 2)
+        state.on_arrival_phase(0, request(0, job))  # wraps, eligible
+        state.on_drop_phase(2, [job], cached=never_cached)
+        assert state.total_ineligible_drops == 0
+
+
+class TestUngatedMode:
+    def test_colors_eligible_on_first_arrival(self):
+        state = SectionThreeState(delta=100, gate_eligibility=False)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        assert state.state(0).eligible
+
+    def test_never_become_ineligible(self):
+        state = SectionThreeState(delta=100, gate_eligibility=False)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        state.on_drop_phase(2, [], cached=never_cached)
+        assert state.state(0).eligible
+
+
+class TestWrapHistory:
+    def test_history_tracked_when_enabled(self):
+        state = SectionThreeState(delta=1, track_history=True)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        state.on_arrival_phase(2, request(2, J(0, 2, 2)))
+        assert state.wrap_events == [(0, 0), (2, 0)]
+        assert state.state(0).wrap_history == [0, 2]
+
+    def test_history_absent_when_disabled(self):
+        state = SectionThreeState(delta=1)
+        state.on_arrival_phase(0, request(0, J(0, 0, 2)))
+        assert state.wrap_events == []
+        assert state.state(0).wrap_history is None

@@ -1,0 +1,73 @@
+"""Property-based tests for the remaining Section 3.3 analysis lemmas.
+
+- Lemma 3.8: on *nice* inputs (Par-EDF drops nothing with ``m`` slots),
+  double-speed Seq-EDF with ``m`` resources drops nothing either.
+- Lemma 3.9: DS-Seq-EDF executes at least as many jobs on a sequence as on
+  any of its subsequences.
+
+Both hold in the rate-limited, power-of-two-bounds setting the section
+assumes, with the ungated (analysis) flavour of Seq-EDF.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.edf import SeqEDFPolicy
+from repro.policies.par_edf import par_edf_run
+
+from tests.conftest import jobs_strategy
+
+rate_limited_jobs = jobs_strategy(
+    max_jobs=25, max_colors=4, max_round=16, batched=True, rate_limited=True
+)
+
+
+def _ds_seq_edf(sequence: RequestSequence, m: int, delta: int = 1):
+    return simulate(
+        Instance(sequence, delta),
+        SeqEDFPolicy(delta, gate_eligibility=False),
+        n=m,
+        speed=2,
+        record_events=False,
+    )
+
+
+@given(jobs=rate_limited_jobs, m=st.integers(1, 3))
+@settings(max_examples=80, deadline=None)
+def test_lemma_38_nice_inputs_drop_free(jobs, m):
+    sequence = RequestSequence(jobs)
+    assume(par_edf_run(sequence, m).is_nice)
+    run = _ds_seq_edf(sequence, m)
+    assert run.drop_cost == 0
+
+
+@given(
+    jobs=rate_limited_jobs,
+    m=st.integers(1, 2),
+    mask=st.lists(st.booleans(), min_size=0, max_size=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_lemma_39_subsequence_monotonicity(jobs, m, mask):
+    sequence = RequestSequence(jobs)
+    keep = [
+        job
+        for i, job in enumerate(sequence.jobs())
+        if i >= len(mask) or mask[i]
+    ]
+    alpha = RequestSequence(keep, horizon=sequence.horizon)
+    full = _ds_seq_edf(sequence, m)
+    sub = _ds_seq_edf(alpha, m)
+    assert len(full.executed_uids) >= len(sub.executed_uids)
+
+
+@given(jobs=rate_limited_jobs, m=st.integers(1, 2))
+@settings(max_examples=60, deadline=None)
+def test_lemma_39_special_case_empty_subsequence(jobs, m):
+    sequence = RequestSequence(jobs)
+    alpha = RequestSequence([], horizon=sequence.horizon)
+    full = _ds_seq_edf(sequence, m)
+    sub = _ds_seq_edf(alpha, m)
+    assert len(sub.executed_uids) == 0
+    assert len(full.executed_uids) >= 0

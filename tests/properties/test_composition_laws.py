@@ -1,0 +1,98 @@
+"""Algebraic laws of the reduction layer.
+
+The reductions compose; these laws pin down the intended semantics:
+
+- Distribute is idempotent up to relabeling: applied to an already
+  rate-limited sequence, every batch fits in sub-color 0, so job windows,
+  counts and per-batch structure are unchanged;
+- applying VarBatch twice still yields windows nested in the originals
+  (each application halves the effective bound);
+- Distribute after VarBatch is exactly the pipeline's inner instance.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Instance, RequestSequence
+from repro.reductions.distribute import distribute_sequence
+from repro.reductions.varbatch import varbatch_sequence
+
+from tests.conftest import any_bounds, jobs_strategy
+
+rate_limited_jobs = jobs_strategy(
+    max_jobs=25, max_colors=4, max_round=16, batched=True, rate_limited=True
+)
+general_jobs = jobs_strategy(
+    max_jobs=20, max_colors=3, max_round=12, bounds=any_bounds
+)
+
+
+@given(jobs=rate_limited_jobs)
+@settings(max_examples=80, deadline=None)
+def test_distribute_on_rate_limited_only_uses_subcolor_zero(jobs):
+    seq = RequestSequence(jobs)
+    split = distribute_sequence(seq)
+    assert all(color[1] == 0 for color in split.colors())
+
+
+@given(jobs=rate_limited_jobs)
+@settings(max_examples=60, deadline=None)
+def test_distribute_idempotent_up_to_relabeling(jobs):
+    seq = RequestSequence(jobs)
+    once = distribute_sequence(seq)
+    twice = distribute_sequence(once)
+    shape = lambda s: Counter(
+        (job.arrival, job.delay_bound) for job in s.jobs()
+    )
+    assert shape(once) == shape(twice)
+    # Second application only wraps colors one level deeper.
+    assert all(color[1] == 0 for color in twice.colors())
+
+
+@given(jobs=general_jobs)
+@settings(max_examples=60, deadline=None)
+def test_varbatch_twice_still_nested_in_original(jobs):
+    """Origins flatten to the native job, and windows keep nesting."""
+    seq = RequestSequence(jobs)
+    twice = varbatch_sequence(varbatch_sequence(seq))
+    originals = {job.uid: job for job in seq.jobs()}
+    for job in twice.jobs():
+        native = originals[job.origin]  # chains flatten to the native uid
+        assert native.arrival <= job.arrival
+        assert job.deadline <= native.deadline
+
+
+@given(jobs=general_jobs, delta=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_pipeline_inner_instance_is_varbatch_then_distribute(jobs, delta):
+    from repro.reductions.pipeline import solve_online
+
+    instance = Instance(RequestSequence(jobs), delta)
+    res = solve_online(instance, n=4, record_events=False)
+    manual = distribute_sequence(varbatch_sequence(instance.sequence))
+    inner = res.inner.instance.sequence
+    shape = lambda s: Counter(
+        (job.color, job.arrival, job.delay_bound) for job in s.jobs()
+    )
+    assert shape(manual) == shape(inner)
+
+
+@given(jobs=general_jobs)
+@settings(max_examples=60, deadline=None)
+def test_varbatch_output_is_valid_distribute_input(jobs):
+    """VarBatch's output always satisfies Distribute's precondition."""
+    seq = varbatch_sequence(RequestSequence(jobs))
+    distribute_sequence(seq)  # must not raise
+
+
+@given(jobs=rate_limited_jobs)
+@settings(max_examples=60, deadline=None)
+def test_origin_chains_are_flat(jobs):
+    """Origins always point at native jobs, never at intermediate ones."""
+    seq = RequestSequence(jobs)
+    native_uids = {job.uid for job in seq.jobs()}
+    layered = distribute_sequence(varbatch_sequence(seq))
+    for job in layered.jobs():
+        assert job.origin in native_uids

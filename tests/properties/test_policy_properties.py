@@ -1,0 +1,137 @@
+"""Property-based tests for the paper's lemma-level invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import SeqEDFPolicy
+from repro.policies.par_edf import par_edf_run
+
+from tests.conftest import jobs_strategy
+
+batched_jobs = jobs_strategy(max_jobs=25, max_colors=4, max_round=16, batched=True)
+# The Section-3 setting: batched AND at most D_l jobs per batch.  The
+# analysis lemmas (3.8, 3.10, Corollary 3.1) are proved only here.
+rate_limited_jobs = jobs_strategy(
+    max_jobs=25, max_colors=4, max_round=16, batched=True, rate_limited=True
+)
+
+
+@given(jobs=batched_jobs, delta=st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_lemma_33_reconfig_bound(jobs, delta):
+    """ReconfigCost <= 4 * numEpochs * Delta, on every batched input."""
+    instance = Instance(RequestSequence(jobs), delta)
+    policy = DeltaLRUEDFPolicy(delta)
+    run = simulate(instance, policy, n=4, record_events=False)
+    assert run.ledger.reconfig_cost <= 4 * policy.num_epochs * delta
+
+
+@given(jobs=batched_jobs, delta=st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_lemma_34_ineligible_drop_bound(jobs, delta):
+    """IneligibleDropCost <= numEpochs * Delta, on every batched input."""
+    instance = Instance(RequestSequence(jobs), delta)
+    policy = DeltaLRUEDFPolicy(delta)
+    simulate(instance, policy, n=4, record_events=False)
+    assert policy.ineligible_drops <= policy.num_epochs * delta
+
+
+@given(jobs=batched_jobs, delta=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_lemma_31_small_colors(jobs, delta):
+    """Colors with < Delta jobs are never configured by DeltaLRU-EDF."""
+    sequence = RequestSequence(jobs)
+    counts = sequence.jobs_per_color()
+    instance = Instance(sequence, delta)
+    run = simulate(instance, DeltaLRUEDFPolicy(delta), n=4, record_events=False)
+    for color, count in counts.items():
+        if count < delta:
+            assert run.ledger.reconfigs_per_color[color] == 0
+
+
+@given(jobs=batched_jobs, m=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_par_edf_is_a_drop_floor(jobs, m):
+    """Lemma 3.7: no m-resource schedule drops less than Par-EDF(m)."""
+    sequence = RequestSequence(jobs)
+    instance = Instance(sequence, 1)
+    floor = par_edf_run(sequence, m).drop_count
+    run = simulate(instance, DeltaLRUEDFPolicy(1), n=4 * m, record_events=False)
+    # With 4x the resources the policy may drop less than the m-floor; the
+    # floor applies at equal resources:
+    equal = simulate(
+        instance, SeqEDFPolicy(1, gate_eligibility=False), n=m, record_events=False
+    )
+    assert floor <= equal.drop_cost
+
+
+@given(jobs=rate_limited_jobs, delta=st.integers(1, 3), m=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_corollary_31_ds_seq_edf_vs_par_edf(jobs, delta, m):
+    """Corollary 3.1: DS-Seq-EDF (ungated) drops at most Par-EDF — proved
+    for rate-limited batched input with power-of-two bounds (Lemma 3.8
+    needs each batch to fit in one block: |X| <= p)."""
+    sequence = RequestSequence(jobs)
+    instance = Instance(sequence, delta)
+    ds = simulate(
+        instance, SeqEDFPolicy(delta, gate_eligibility=False),
+        n=m, speed=2, record_events=False,
+    )
+    par = par_edf_run(sequence, m)
+    assert ds.drop_cost <= par.drop_count
+
+
+@given(jobs=rate_limited_jobs, delta=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_lemma_310_drop_chain(jobs, delta):
+    """EligibleDrops(DeltaLRU-EDF, n) <= Drops(DS-Seq-EDF ungated, n/8)
+    on the eligible subsequence.
+
+    The paper's Lemma 3.10 states "n = 4m, i.e., 2m = n/4" — the two clauses
+    conflict; the reading consistent with Theorem 1's ``n = 8m`` (and the
+    only one under which the coupling argument goes through: the EDF half
+    holds ``n/4 = 2m`` distinct colors, matching DS-Seq-EDF's up-to-``2m``
+    colors per round) is ``m = n/8``, which is what we verify.
+    """
+    sequence = RequestSequence(jobs)
+    instance = Instance(sequence, delta)
+    n = 8
+    policy = DeltaLRUEDFPolicy(delta)
+    run = simulate(instance, policy, n=n, record_events=False)
+    ineligible = policy.state.ineligible_drop_uids()
+    eligible_drops = run.drop_cost - len(ineligible)
+    alpha = RequestSequence(
+        [job for job in sequence.jobs() if job.uid not in ineligible],
+        horizon=sequence.horizon,
+    )
+    ds = simulate(
+        Instance(alpha, delta),
+        SeqEDFPolicy(delta, gate_eligibility=False),
+        n=n // 8, speed=2, record_events=False,
+    )
+    assert eligible_drops <= ds.drop_cost
+
+
+@given(jobs=batched_jobs, delta=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_more_resources_never_increase_drops(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    small = simulate(instance, DeltaLRUEDFPolicy(delta), n=4, record_events=False)
+    large = simulate(instance, DeltaLRUEDFPolicy(delta), n=8, record_events=False)
+    assert large.drop_cost <= small.drop_cost + delta * 4  # slack: cache churn
+
+
+@given(jobs=rate_limited_jobs, delta=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_corollary_32_epoch_overlap(jobs, delta):
+    """Corollary 3.2: at most three epochs of any color overlap any
+    super-epoch (m = n/8)."""
+    from repro.analysis.epochs import max_epoch_overlap
+
+    instance = Instance(RequestSequence(jobs), delta)
+    policy = DeltaLRUEDFPolicy(delta, track_history=True)
+    simulate(instance, policy, n=8, record_events=False)
+    assert max_epoch_overlap(policy.state, m=1, horizon=instance.horizon) <= 3

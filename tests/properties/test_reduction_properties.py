@@ -1,0 +1,106 @@
+"""Property-based tests for the Distribute and VarBatch reductions."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.reductions.blocks import batch_period
+from repro.reductions.distribute import distribute_sequence
+from repro.reductions.pipeline import solve_batched, solve_online
+from repro.reductions.varbatch import varbatch_sequence
+
+from tests.conftest import any_bounds, jobs_strategy
+
+
+@given(jobs=jobs_strategy(max_jobs=30, max_colors=4, max_round=16, batched=True))
+@settings(max_examples=100, deadline=None)
+def test_distribute_output_is_rate_limited(jobs):
+    split = distribute_sequence(RequestSequence(jobs))
+    assert split.is_rate_limited()
+
+
+@given(jobs=jobs_strategy(max_jobs=30, max_colors=4, max_round=16, batched=True))
+@settings(max_examples=100, deadline=None)
+def test_distribute_is_a_bijection_on_jobs(jobs):
+    seq = RequestSequence(jobs)
+    split = distribute_sequence(seq)
+    assert split.num_jobs == seq.num_jobs
+    origins = [job.origin for job in split.jobs()]
+    assert len(set(origins)) == len(origins)
+    assert set(origins) == {job.uid for job in seq.jobs()}
+
+
+@given(jobs=jobs_strategy(max_jobs=30, max_colors=4, max_round=16, batched=True))
+@settings(max_examples=100, deadline=None)
+def test_distribute_preserves_windows_and_parent_colors(jobs):
+    seq = RequestSequence(jobs)
+    originals = {job.uid: job for job in seq.jobs()}
+    for derived in distribute_sequence(seq).jobs():
+        native = originals[derived.origin]
+        assert derived.arrival == native.arrival
+        assert derived.delay_bound == native.delay_bound
+        assert derived.color[0] == native.color
+
+
+@given(jobs=jobs_strategy(max_jobs=25, max_colors=4, max_round=16, bounds=any_bounds))
+@settings(max_examples=100, deadline=None)
+def test_varbatch_output_is_batched_and_nested(jobs):
+    seq = RequestSequence(jobs)
+    out = varbatch_sequence(seq)
+    assert out.is_batched()
+    originals = {job.uid: job for job in seq.jobs()}
+    for derived in out.jobs():
+        native = originals[derived.origin]
+        assert native.arrival <= derived.arrival
+        assert derived.deadline <= native.deadline
+        assert derived.color == native.color
+        if native.delay_bound > 1:
+            assert derived.delay_bound == batch_period(native.delay_bound)
+
+
+@given(jobs=jobs_strategy(max_jobs=25, max_colors=4, max_round=16, bounds=any_bounds))
+@settings(max_examples=100, deadline=None)
+def test_varbatch_preserves_multiplicities_per_color(jobs):
+    seq = RequestSequence(jobs)
+    out = varbatch_sequence(seq)
+    assert Counter(j.color for j in seq.jobs()) == Counter(j.color for j in out.jobs())
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, batched=True),
+    delta=st.integers(1, 3),
+)
+@settings(max_examples=50, deadline=None)
+def test_solve_batched_schedule_valid_on_original(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    res = solve_batched(instance, n=4)
+    led = validate_schedule(res.schedule, instance.sequence, delta)
+    assert led.total_cost == res.total_cost
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, bounds=any_bounds),
+    delta=st.integers(1, 3),
+)
+@settings(max_examples=50, deadline=None)
+def test_solve_online_schedule_valid_on_original(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    res = solve_online(instance, n=4)
+    led = validate_schedule(res.schedule, instance.sequence, delta)
+    assert led.total_cost == res.total_cost
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, batched=True),
+    delta=st.integers(1, 3),
+)
+@settings(max_examples=50, deadline=None)
+def test_pull_back_never_increases_cost(jobs, delta):
+    """Lemma 4.2: the pulled-back schedule costs at most the inner one."""
+    instance = Instance(RequestSequence(jobs), delta)
+    res = solve_batched(instance, n=4)
+    inner_cost = res.inner.ledger.total_cost
+    assert res.total_cost <= inner_cost

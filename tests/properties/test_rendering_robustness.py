@@ -1,0 +1,71 @@
+"""Fuzz the human-output paths: rendering must never crash.
+
+Timelines, narration, tables, verification reports and attribution are the
+bug-report surface — they must work on *any* run, including empty, degenerate
+and double-speed ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.attribution import attribution_table
+from repro.analysis.series import cost_series, sparkline
+from repro.analysis.timeline import render_timeline, timeline_stats
+from repro.analysis.verify import verify_run
+from repro.core.debug import narrate
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import SeqEDFPolicy
+
+from tests.conftest import jobs_strategy
+
+arbitrary_jobs = jobs_strategy(max_jobs=15, max_colors=5, max_round=10)
+
+
+@given(jobs=arbitrary_jobs, delta=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_all_renderers_survive_any_run(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    run = simulate(instance, DeltaLRUEDFPolicy(delta), n=4)
+
+    assert isinstance(render_timeline(run.schedule, instance.sequence), str)
+    stats = timeline_stats(run.schedule, instance.sequence)
+    assert 0.0 <= stats.utilization <= 1.0
+
+    assert isinstance(narrate(run), str)
+
+    series = cost_series(run.ledger, instance.horizon)
+    assert isinstance(sparkline(series.total), str)
+
+    if instance.sequence.num_jobs:
+        text = attribution_table(run.schedule, instance).render()
+        assert "color" in text
+
+    report = verify_run(run)
+    assert report.ok, report.render()
+
+
+@given(jobs=arbitrary_jobs, delta=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_renderers_survive_double_speed_runs(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    run = simulate(
+        instance, SeqEDFPolicy(delta, gate_eligibility=False), n=3, speed=2
+    )
+    assert isinstance(render_timeline(run.schedule, instance.sequence), str)
+    assert isinstance(narrate(run), str)
+    assert verify_run(run).ok
+
+
+@given(start=st.integers(0, 50), width=st.integers(1, 200))
+@settings(max_examples=40, deadline=None)
+def test_timeline_windows_never_crash(start, width):
+    instance = Instance(
+        RequestSequence([]), 1
+    )
+    from repro.core.schedule import Schedule
+
+    text = render_timeline(Schedule(n=2), instance.sequence, start,
+                           start + width)
+    assert isinstance(text, str)

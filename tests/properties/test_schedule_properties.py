@@ -1,0 +1,87 @@
+"""Property-based tests: every produced schedule is valid and its cost
+matches the producer's ledger, for every policy, on arbitrary inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.baselines import (
+    ClassicLRUPolicy,
+    GreedyUtilizationPolicy,
+    StaticPartitionPolicy,
+)
+from repro.policies.dlru import DeltaLRUPolicy
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.policies.edf import EDFPolicy, SeqEDFPolicy
+
+from tests.conftest import jobs_strategy
+
+
+POLICY_FACTORIES = [
+    ("dlru", lambda d: DeltaLRUPolicy(d)),
+    ("edf", lambda d: EDFPolicy(d)),
+    ("dlru-edf", lambda d: DeltaLRUEDFPolicy(d)),
+    ("seq-edf", lambda d: SeqEDFPolicy(d)),
+    ("static", lambda d: StaticPartitionPolicy()),
+    ("classic-lru", lambda d: ClassicLRUPolicy()),
+    ("greedy", lambda d: GreedyUtilizationPolicy()),
+]
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=25, max_colors=4, max_round=16, batched=True),
+    delta=st.integers(1, 4),
+    which=st.integers(0, len(POLICY_FACTORIES) - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_policy_schedules_always_validate(jobs, delta, which):
+    name, factory = POLICY_FACTORIES[which]
+    instance = Instance(RequestSequence(jobs), delta, name=name)
+    run = simulate(instance, factory(delta), n=4)
+    led = validate_schedule(run.schedule, instance.sequence, delta)
+    assert led.total_cost == run.ledger.total_cost
+    assert led.reconfig_cost == run.ledger.reconfig_cost
+    assert led.drop_cost == run.ledger.drop_cost
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, batched=True),
+    delta=st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_job_is_executed_or_dropped_exactly_once(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    run = simulate(instance, DeltaLRUEDFPolicy(delta), n=4)
+    all_uids = {job.uid for job in instance.sequence.jobs()}
+    assert run.executed_uids | run.dropped_uids == all_uids
+    assert not (run.executed_uids & run.dropped_uids)
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, batched=True),
+    delta=st.integers(1, 3),
+    speed=st.integers(1, 2),
+)
+@settings(max_examples=60, deadline=None)
+def test_double_speed_schedules_validate(jobs, delta, speed):
+    instance = Instance(RequestSequence(jobs), delta)
+    run = simulate(instance, SeqEDFPolicy(delta), n=3, speed=speed)
+    led = validate_schedule(run.schedule, instance.sequence, delta)
+    assert led.total_cost == run.ledger.total_cost
+
+
+@given(
+    jobs=jobs_strategy(max_jobs=20, max_colors=3, max_round=12, batched=True),
+    delta=st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_executions_never_exceed_capacity_per_round(jobs, delta):
+    instance = Instance(RequestSequence(jobs), delta)
+    n = 4
+    run = simulate(instance, DeltaLRUEDFPolicy(delta), n=n)
+    per_round: dict[int, int] = {}
+    for ex in run.schedule.executions:
+        per_round[ex.round] = per_round.get(ex.round, 0) + 1
+    assert all(count <= n for count in per_round.values())

@@ -1,0 +1,80 @@
+"""Unit tests for block / half-block arithmetic."""
+
+import pytest
+
+from repro.reductions.blocks import (
+    batch_period,
+    block_index,
+    block_start,
+    half_block_index,
+    half_block_start,
+    is_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << e) for e in range(10))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in (0, 3, 5, 6, 7, 9, 12, -4))
+
+
+class TestBlocks:
+    def test_block_start(self):
+        assert block_start(4, 0) == 0
+        assert block_start(4, 3) == 12
+
+    def test_block_index(self):
+        assert block_index(4, 0) == 0
+        assert block_index(4, 3) == 0
+        assert block_index(4, 4) == 1
+
+    def test_round_trip(self):
+        for p in (2, 4, 8):
+            for rnd in range(20):
+                i = block_index(p, rnd)
+                assert block_start(p, i) <= rnd < block_start(p, i + 1)
+
+
+class TestHalfBlocks:
+    def test_half_block_start(self):
+        assert half_block_start(8, 0) == 0
+        assert half_block_start(8, 3) == 12
+
+    def test_half_block_index(self):
+        assert half_block_index(8, 3) == 0
+        assert half_block_index(8, 4) == 1
+
+    def test_odd_bound_rejected(self):
+        with pytest.raises(ValueError):
+            half_block_start(3, 0)
+        with pytest.raises(ValueError):
+            half_block_index(5, 0)
+
+
+class TestBatchPeriod:
+    def test_power_of_two_halves(self):
+        assert batch_period(4) == 2
+        assert batch_period(8) == 4
+        assert batch_period(64) == 32
+
+    def test_tiny_bounds_clamp_to_one(self):
+        assert batch_period(1) == 1
+        assert batch_period(2) == 1
+        assert batch_period(3) == 1
+
+    def test_non_power_of_two_uses_section_53(self):
+        # 2^j <= p < 2^(j+1) -> period 2^(j-2)
+        assert batch_period(5) == 1   # j=2
+        assert batch_period(9) == 2   # j=3
+        assert batch_period(15) == 2
+        assert batch_period(17) == 4  # j=4
+
+    def test_safety_margin_two_b_at_most_p(self):
+        for p in range(2, 200):
+            assert 2 * batch_period(p) <= p
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            batch_period(0)

@@ -1,0 +1,123 @@
+"""Unit tests for Algorithm Distribute (Section 4.1)."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.simulator import simulate
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.reductions.distribute import (
+    distribute_sequence,
+    parent_color,
+    pull_back_schedule,
+)
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+class TestDistributeSequence:
+    def test_small_batch_single_subcolor(self):
+        seq = RequestSequence([J(0, 0, 4) for _ in range(3)])
+        split = distribute_sequence(seq)
+        assert {job.color for job in split.jobs()} == {(0, 0)}
+
+    def test_oversized_batch_splits(self):
+        seq = RequestSequence([J(0, 0, 2) for _ in range(5)])
+        split = distribute_sequence(seq)
+        colors = sorted({job.color for job in split.jobs()})
+        assert colors == [(0, 0), (0, 1), (0, 2)]
+        counts = split.jobs_per_color()
+        assert counts[(0, 0)] == 2 and counts[(0, 1)] == 2 and counts[(0, 2)] == 1
+
+    def test_result_is_rate_limited(self):
+        jobs = [J(0, 0, 2) for _ in range(7)] + [J(1, 0, 4) for _ in range(9)]
+        split = distribute_sequence(RequestSequence(jobs))
+        assert split.is_rate_limited()
+
+    def test_preserves_job_count_and_windows(self):
+        jobs = [J(c, a, 4) for c in range(2) for a in (0, 4) for _ in range(6)]
+        seq = RequestSequence(jobs)
+        split = distribute_sequence(seq)
+        assert split.num_jobs == seq.num_jobs
+        for job in split.jobs():
+            assert job.arrival % job.delay_bound == 0
+            assert job.delay_bound == 4
+
+    def test_origins_point_to_original_jobs(self):
+        seq = RequestSequence([J(0, 0, 2) for _ in range(3)])
+        originals = {job.uid for job in seq.jobs()}
+        split = distribute_sequence(seq)
+        assert {job.origin for job in split.jobs()} == originals
+
+    def test_rejects_unbatched_input(self):
+        with pytest.raises(ValueError, match="batched"):
+            distribute_sequence(RequestSequence([J(0, 1, 2)]))
+
+    def test_sub_batches_independent_per_round(self):
+        jobs = [J(0, 0, 2) for _ in range(5)] + [J(0, 2, 2) for _ in range(3)]
+        split = distribute_sequence(RequestSequence(jobs))
+        per_batch = {}
+        for job in split.jobs():
+            per_batch.setdefault((job.color, job.arrival), 0)
+            per_batch[(job.color, job.arrival)] += 1
+        assert all(count <= 2 for count in per_batch.values())
+
+
+class TestParentColor:
+    def test_extracts_parent(self):
+        assert parent_color((7, 3)) == 7
+
+    def test_rejects_plain_color(self):
+        with pytest.raises(ValueError):
+            parent_color(7)
+
+
+class TestPullBack:
+    def _setup(self):
+        jobs = [J(0, 0, 2) for _ in range(5)] + [J(1, 0, 4) for _ in range(3)]
+        seq = RequestSequence(jobs)
+        split = distribute_sequence(seq)
+        return seq, split
+
+    def test_pulled_back_schedule_validates(self):
+        seq, split = self._setup()
+        inst = Instance(split, delta=2)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        pulled = pull_back_schedule(run.schedule, split, seq)
+        validate_schedule(pulled, seq, 2)
+
+    def test_drop_cost_preserved(self):
+        seq, split = self._setup()
+        inst = Instance(split, delta=2)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        pulled = pull_back_schedule(run.schedule, split, seq)
+        inner_drops = split.num_jobs - len(run.schedule.executed_uids())
+        outer_drops = seq.num_jobs - len(pulled.executed_uids())
+        assert outer_drops == inner_drops
+
+    def test_reconfig_cost_never_increases(self):
+        seq, split = self._setup()
+        inst = Instance(split, delta=2)
+        run = simulate(inst, DeltaLRUEDFPolicy(2), n=8)
+        pulled = pull_back_schedule(run.schedule, split, seq)
+        assert pulled.reconfig_count() <= run.schedule.reconfig_count()
+
+    def test_sibling_subcolor_reconfigs_collapse(self):
+        """(l, 0) -> (l, 1) on one location becomes a free no-op."""
+        seq = RequestSequence([J(0, 0, 2) for _ in range(4)])
+        split = distribute_sequence(seq)
+        inner = Schedule(n=1)
+        inner.add_reconfig(0, 0, (0, 0))
+        inner.add_reconfig(1, 0, (0, 1))
+        pulled = pull_back_schedule(inner, split, seq)
+        assert pulled.reconfig_count() == 1
+
+    def test_rejects_foreign_execution(self):
+        seq, split = self._setup()
+        inner = Schedule(n=1)
+        inner.add_execution(0, 0, 10**9)
+        with pytest.raises(ValueError):
+            pull_back_schedule(inner, split, seq)

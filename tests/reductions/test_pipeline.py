@@ -1,0 +1,90 @@
+"""Unit tests for the composed solvers (Theorems 1–3 plumbing)."""
+
+import pytest
+
+from repro.core.schedule import validate_schedule
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.reductions.pipeline import solve_batched, solve_online, solve_rate_limited
+from repro.workloads.generators import (
+    batched_workload,
+    poisson_workload,
+    rate_limited_workload,
+)
+
+
+class TestSolveRateLimited:
+    def test_schedule_validates_and_cost_matches(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=0)
+        res = solve_rate_limited(inst, n=8)
+        led = validate_schedule(res.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == res.total_cost
+        assert res.layers == ("dlru-edf",)
+
+    def test_custom_policy_accepted(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=2, seed=0)
+        policy = DeltaLRUEDFPolicy(2, track_history=True)
+        res = solve_rate_limited(inst, n=8, policy=policy)
+        assert res.policy is policy
+        assert policy.state.track_history
+
+
+class TestSolveBatched:
+    def test_schedule_validates_against_original(self):
+        inst = batched_workload(num_colors=4, horizon=32, delta=2, seed=1)
+        res = solve_batched(inst, n=8)
+        led = validate_schedule(res.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == res.total_cost
+        assert res.layers == ("distribute", "dlru-edf")
+
+    def test_handles_oversized_batches(self):
+        inst = batched_workload(
+            num_colors=2, horizon=16, delta=2, seed=2, mean_batch=6.0
+        )
+        assert not inst.sequence.is_rate_limited()
+        res = solve_batched(inst, n=8)
+        validate_schedule(res.schedule, inst.sequence, inst.delta)
+
+    def test_inner_instance_is_rate_limited(self):
+        inst = batched_workload(num_colors=3, horizon=16, delta=2, seed=3)
+        res = solve_batched(inst, n=8)
+        assert res.inner.instance.sequence.is_rate_limited()
+
+
+class TestSolveOnline:
+    def test_schedule_validates_against_original(self):
+        inst = poisson_workload(num_colors=4, horizon=48, delta=2, seed=4)
+        res = solve_online(inst, n=8)
+        led = validate_schedule(res.schedule, inst.sequence, inst.delta)
+        assert led.total_cost == res.total_cost
+        assert res.layers == ("varbatch", "distribute", "dlru-edf")
+
+    def test_non_power_of_two_bounds_supported(self):
+        inst = poisson_workload(
+            num_colors=4, horizon=48, delta=2, seed=5, power_of_two=False
+        )
+        res = solve_online(inst, n=8)
+        validate_schedule(res.schedule, inst.sequence, inst.delta)
+
+    def test_ledger_breakdown_consistent(self):
+        inst = poisson_workload(num_colors=3, horizon=32, delta=3, seed=6)
+        res = solve_online(inst, n=8)
+        assert res.total_cost == res.reconfig_cost + res.drop_cost
+
+    def test_every_executed_job_is_original(self):
+        inst = poisson_workload(num_colors=3, horizon=32, delta=2, seed=7)
+        res = solve_online(inst, n=8)
+        original_uids = {job.uid for job in inst.sequence.jobs()}
+        assert res.schedule.executed_uids() <= original_uids
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_more_resources_never_hurt_much(self, n):
+        inst = poisson_workload(num_colors=4, horizon=64, delta=2, seed=8)
+        res = solve_online(inst, n=n, record_events=False)
+        assert res.total_cost >= 0  # smoke: both sizes complete
+
+    def test_empty_instance(self):
+        from repro.core.request import Instance, RequestSequence
+
+        inst = Instance(RequestSequence([]), delta=2)
+        res = solve_online(inst, n=8)
+        assert res.total_cost == 0

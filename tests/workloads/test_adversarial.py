@@ -1,0 +1,90 @@
+"""Unit tests for the appendix adversary constructions."""
+
+import pytest
+
+from repro.core.schedule import validate_schedule
+from repro.workloads.adversarial import (
+    anti_dlru_instance,
+    anti_dlru_offline_schedule,
+    anti_edf_instance,
+    anti_edf_offline_schedule,
+)
+
+
+class TestAntiDLRUInstance:
+    def test_shape(self):
+        inst = anti_dlru_instance(n=4, j=2, k=4, delta=1)
+        seq = inst.sequence
+        meta = inst.metadata
+        # n/2 short colors + 1 long color.
+        assert len(seq.colors()) == 3
+        # Long color gets 2^k jobs at round 0.
+        assert seq.jobs_per_color()[meta["long_color"]] == 16
+        # Each short color gets delta jobs per multiple of 2^j.
+        assert seq.jobs_per_color()[0] == (16 // 4) * 1
+
+    def test_is_batched_and_rate_limited(self):
+        inst = anti_dlru_instance(n=4, j=2, k=4, delta=1)
+        assert inst.sequence.is_batched()
+        # delta=1 <= 2^j and 2^k jobs <= 2^k: rate-limited.
+        assert inst.sequence.is_rate_limited()
+
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError, match="2\\^k"):
+            anti_dlru_instance(n=4, j=3, k=3, delta=1)
+        with pytest.raises(ValueError, match="delta"):
+            anti_dlru_instance(n=4, j=2, k=5, delta=10)
+
+    def test_strict_false_relaxes(self):
+        anti_dlru_instance(n=4, j=2, k=5, delta=10, strict=False)
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            anti_dlru_instance(n=3, j=2, k=4, delta=1)
+
+    def test_offline_schedule_valid_and_closed_form(self):
+        n, j, k, delta = 4, 3, 5, 1
+        inst = anti_dlru_instance(n=n, j=j, k=k, delta=delta)
+        led = validate_schedule(
+            anti_dlru_offline_schedule(inst), inst.sequence, delta
+        )
+        assert led.reconfig_cost == delta
+        assert led.drop_cost == 2 ** (k - j - 1) * n * delta
+
+
+class TestAntiEDFInstance:
+    def test_shape(self):
+        inst = anti_edf_instance(n=4, j=3, k=4, delta=5)
+        seq = inst.sequence
+        # n/2 + 1 colors.
+        assert len(seq.colors()) == 3
+        bounds = set(seq.delay_bounds().values())
+        assert bounds == {8, 16, 32}
+
+    def test_long_color_job_counts(self):
+        inst = anti_edf_instance(n=4, j=3, k=4, delta=5)
+        counts = inst.sequence.jobs_per_color()
+        from repro.workloads.adversarial import LONG_COLOR_OFFSET
+        assert counts[LONG_COLOR_OFFSET] == 2 ** 3
+        assert counts[LONG_COLOR_OFFSET + 1] == 2 ** 4
+
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError, match="delta > n"):
+            anti_edf_instance(n=4, j=3, k=4, delta=3)
+        with pytest.raises(ValueError, match="2\\^j > delta"):
+            anti_edf_instance(n=4, j=2, k=4, delta=5)
+
+    def test_offline_schedule_no_drops(self):
+        inst = anti_edf_instance(n=4, j=3, k=5, delta=5)
+        led = validate_schedule(
+            anti_edf_offline_schedule(inst), inst.sequence, inst.delta
+        )
+        assert led.drop_cost == 0
+        assert led.reconfig_cost == (4 // 2 + 1) * 5
+
+    def test_short_jobs_stop_at_half_k(self):
+        inst = anti_edf_instance(n=4, j=3, k=5, delta=5)
+        short_arrivals = [
+            j.arrival for j in inst.sequence.jobs() if j.color == 0
+        ]
+        assert max(short_arrivals) < 2 ** 4

@@ -1,0 +1,76 @@
+"""Unit tests for the richer arrival models."""
+
+import pytest
+
+from repro.core.schedule import validate_schedule
+from repro.reductions.pipeline import solve_online
+from repro.workloads.arrivals import flash_crowd_workload, mmpp_workload
+
+
+class TestMMPP:
+    def test_deterministic(self):
+        shapes = lambda inst: [
+            (j.color, j.arrival) for j in inst.sequence.jobs()
+        ]
+        assert shapes(mmpp_workload(seed=1)) == shapes(mmpp_workload(seed=1))
+        assert shapes(mmpp_workload(seed=1)) != shapes(mmpp_workload(seed=2))
+
+    def test_autocorrelated_burstiness(self):
+        """Surge states make per-round counts clump: the variance of
+        windowed counts should exceed a Poisson process of the same mean."""
+        import numpy as np
+
+        inst = mmpp_workload(num_colors=1, horizon=2048, seed=3,
+                             rates=(0.02, 3.0), dwell=64.0)
+        counts = np.array([
+            len(inst.sequence.request(r)) for r in range(2048)
+        ], dtype=float)
+        # Index of dispersion >> 1 signals modulation (Poisson would be ~1).
+        dispersion = counts.var() / max(counts.mean(), 1e-9)
+        assert dispersion > 2.0
+
+    def test_validates_through_pipeline(self):
+        inst = mmpp_workload(num_colors=4, horizon=128, delta=3, seed=4)
+        res = solve_online(inst, n=8, record_events=False)
+        validate_schedule(res.schedule, inst.sequence, inst.delta)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_workload(rates=())
+        with pytest.raises(ValueError):
+            mmpp_workload(dwell=0.5)
+
+
+class TestFlashCrowd:
+    def test_surge_window_is_hot(self):
+        inst = flash_crowd_workload(num_colors=4, horizon=400, seed=0,
+                                    base_rate=0.1, surge_rate=5.0)
+        begin, end = inst.metadata["surge_window"]
+        surge_color = inst.metadata["surge_color"]
+        inside = sum(
+            1 for j in inst.sequence.jobs()
+            if j.color == surge_color and begin <= j.arrival < end
+        )
+        outside = sum(
+            1 for j in inst.sequence.jobs()
+            if j.color == surge_color and not (begin <= j.arrival < end)
+        )
+        assert inside > 3 * max(outside, 1)
+
+    def test_other_colors_unaffected(self):
+        inst = flash_crowd_workload(num_colors=4, horizon=400, seed=1)
+        begin, end = inst.metadata["surge_window"]
+        window = max(end - begin, 1)
+        other = [j for j in inst.sequence.jobs() if j.color == 1]
+        inside_rate = sum(1 for j in other if begin <= j.arrival < end) / window
+        outside_rate = len([j for j in other if not (begin <= j.arrival < end)]) / (400 - window)
+        assert inside_rate < 3 * outside_rate + 0.5
+
+    def test_surge_color_validated(self):
+        with pytest.raises(ValueError):
+            flash_crowd_workload(num_colors=4, surge_color=9)
+
+    def test_validates_through_pipeline(self):
+        inst = flash_crowd_workload(num_colors=4, horizon=128, delta=3, seed=2)
+        res = solve_online(inst, n=8, record_events=False)
+        validate_schedule(res.schedule, inst.sequence, inst.delta)

@@ -1,0 +1,100 @@
+"""Unit tests for workload composition."""
+
+import pytest
+
+from repro.core.schedule import validate_schedule
+from repro.reductions.pipeline import solve_online
+from repro.workloads.composite import concat, merge, shift
+from repro.workloads.generators import poisson_workload, rate_limited_workload
+
+
+def small(seed=0, delta=2):
+    return rate_limited_workload(num_colors=3, horizon=16, delta=delta, seed=seed)
+
+
+class TestShift:
+    def test_arrivals_translated(self):
+        base = small()
+        moved = shift(base, 10)
+        base_arrivals = sorted(j.arrival for j in base.sequence.jobs())
+        moved_arrivals = sorted(j.arrival for j in moved.sequence.jobs())
+        assert moved_arrivals == [a + 10 for a in base_arrivals]
+
+    def test_horizon_extended(self):
+        base = small()
+        assert shift(base, 7).horizon == base.horizon + 7
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            shift(small(), -1)
+
+    def test_zero_shift_preserves_shape(self):
+        base = small()
+        same = shift(base, 0)
+        assert same.sequence.num_jobs == base.sequence.num_jobs
+
+
+class TestMerge:
+    def test_superimposes_all_jobs(self):
+        a, b = small(0), small(1)
+        merged = merge(a, b)
+        assert merged.sequence.num_jobs == a.sequence.num_jobs + b.sequence.num_jobs
+
+    def test_colors_namespaced(self):
+        a, b = small(0), small(1)
+        merged = merge(a, b)
+        sources = {color[0] for color in merged.sequence.colors()}
+        assert sources == {0, 1}
+
+    def test_bound_conflicts_resolved_by_namespacing(self):
+        # Same color id, different bounds across sources: merged instance
+        # must still have consistent per-color bounds.
+        a = rate_limited_workload(num_colors=2, horizon=16, delta=2, seed=0,
+                                  min_exp=1, max_exp=1)
+        b = rate_limited_workload(num_colors=2, horizon=16, delta=2, seed=0,
+                                  min_exp=3, max_exp=3)
+        merged = merge(a, b)
+        merged.sequence.delay_bounds()  # raises if inconsistent
+
+    def test_mismatched_delta_rejected(self):
+        with pytest.raises(ValueError, match="Delta"):
+            merge(small(delta=2), small(delta=3))
+
+    def test_empty_call_rejected(self):
+        with pytest.raises(ValueError):
+            merge()
+
+    def test_merged_instance_solvable(self):
+        merged = merge(small(0), poisson_workload(
+            num_colors=3, horizon=24, delta=2, seed=1))
+        res = solve_online(merged, n=8, record_events=False)
+        validate_schedule(res.schedule, merged.sequence, merged.delta)
+
+
+class TestConcat:
+    def test_phases_do_not_overlap(self):
+        a, b = small(0), small(1)
+        joined = concat(a, b, gap=5)
+        phase0_max = max(
+            j.arrival for j in joined.sequence.jobs() if j.color[0] == 0
+        )
+        phase1_min = min(
+            j.arrival for j in joined.sequence.jobs() if j.color[0] == 1
+        )
+        assert phase1_min >= a.horizon + 5 > phase0_max
+
+    def test_job_counts_preserved(self):
+        a, b, c = small(0), small(1), small(2)
+        joined = concat(a, b, c)
+        assert joined.sequence.num_jobs == sum(
+            x.sequence.num_jobs for x in (a, b, c)
+        )
+
+    def test_metadata_records_phases(self):
+        joined = concat(small(0), small(1), name="two-phase")
+        assert len(joined.metadata["phases"]) == 2
+
+    def test_concat_solvable(self):
+        joined = concat(small(0), small(1), gap=3)
+        res = solve_online(joined, n=8, record_events=False)
+        validate_schedule(res.schedule, joined.sequence, joined.delta)

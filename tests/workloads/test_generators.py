@@ -1,0 +1,97 @@
+"""Unit tests for the random workload generators."""
+
+import pytest
+
+from repro.workloads.generators import (
+    batched_workload,
+    bursty_workload,
+    poisson_workload,
+    rate_limited_workload,
+    uniform_workload,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        rate_limited_workload, batched_workload, poisson_workload,
+        bursty_workload, uniform_workload,
+    ])
+    def test_same_seed_same_workload(self, factory):
+        a = factory(seed=42)
+        b = factory(seed=42)
+        assert a.sequence.to_json() == b.sequence.to_json() or (
+            # uids differ between constructions; compare shapes instead
+            [
+                (j.color, j.arrival, j.delay_bound) for j in a.sequence.jobs()
+            ] == [
+                (j.color, j.arrival, j.delay_bound) for j in b.sequence.jobs()
+            ]
+        )
+
+    @pytest.mark.parametrize("factory", [
+        rate_limited_workload, poisson_workload, bursty_workload,
+    ])
+    def test_different_seeds_differ(self, factory):
+        a = factory(seed=0)
+        b = factory(seed=1)
+        shapes = lambda inst: [
+            (j.color, j.arrival, j.delay_bound) for j in inst.sequence.jobs()
+        ]
+        assert shapes(a) != shapes(b)
+
+
+class TestStructuralGuarantees:
+    def test_rate_limited_is_rate_limited(self):
+        for seed in range(3):
+            inst = rate_limited_workload(seed=seed)
+            assert inst.sequence.is_rate_limited()
+
+    def test_batched_is_batched(self):
+        for seed in range(3):
+            assert batched_workload(seed=seed).sequence.is_batched()
+
+    def test_batched_can_exceed_rate_limit(self):
+        # With a high mean batch the workload must overflow D_l somewhere.
+        inst = batched_workload(seed=0, mean_batch=6.0)
+        assert not inst.sequence.is_rate_limited()
+
+    def test_power_of_two_bounds_by_default(self):
+        for factory in (rate_limited_workload, batched_workload, poisson_workload):
+            assert factory(seed=1).sequence.has_power_of_two_bounds()
+
+    def test_non_power_of_two_opt_in(self):
+        inst = poisson_workload(seed=3, power_of_two=False, min_exp=2, max_exp=4)
+        bounds = {j.delay_bound for j in inst.sequence.jobs()}
+        assert any(b & (b - 1) for b in bounds)  # at least one non-power
+
+    def test_per_color_bounds_consistent(self):
+        for factory in (poisson_workload, bursty_workload, uniform_workload):
+            factory(seed=2).sequence.delay_bounds()  # raises if inconsistent
+
+    def test_horizon_covers_deadlines(self):
+        for factory in (rate_limited_workload, poisson_workload, bursty_workload):
+            inst = factory(seed=4)
+            latest = max(j.deadline for j in inst.sequence.jobs())
+            assert inst.horizon >= latest + 1
+
+
+class TestLoadShapes:
+    def test_rate_limited_load_scales(self):
+        light = rate_limited_workload(seed=5, load=0.1).sequence.num_jobs
+        heavy = rate_limited_workload(seed=5, load=0.9).sequence.num_jobs
+        assert heavy > 2 * light
+
+    def test_poisson_rate_scales(self):
+        light = poisson_workload(seed=5, rate=0.1).sequence.num_jobs
+        heavy = poisson_workload(seed=5, rate=1.0).sequence.num_jobs
+        assert heavy > 3 * light
+
+    def test_bursty_has_quiet_rounds(self):
+        inst = bursty_workload(seed=6, num_colors=2, horizon=256)
+        arrivals_per_round = [len(inst.sequence.request(r)) for r in range(256)]
+        assert arrivals_per_round.count(0) > 10
+
+    def test_metadata_recorded(self):
+        inst = rate_limited_workload(seed=7)
+        assert inst.metadata["seed"] == 7
+        assert "bounds" in inst.metadata

@@ -1,0 +1,90 @@
+"""Unit tests for the motivating-scenario workloads."""
+
+from repro.workloads.scenarios import (
+    background_shortterm_instance,
+    datacenter_workload,
+    router_workload,
+)
+
+
+class TestBackgroundShortterm:
+    def test_deterministic(self):
+        a = background_shortterm_instance()
+        b = background_shortterm_instance()
+        assert [
+            (j.color, j.arrival, j.delay_bound) for j in a.sequence.jobs()
+        ] == [
+            (j.color, j.arrival, j.delay_bound) for j in b.sequence.jobs()
+        ]
+
+    def test_batched(self):
+        inst = background_shortterm_instance()
+        assert inst.sequence.is_batched()
+
+    def test_rotation_covers_all_short_colors(self):
+        inst = background_shortterm_instance(num_short=4, quiet_after=256)
+        colors = inst.sequence.colors()
+        assert {0, 1, 2, 3} <= colors
+
+    def test_quiet_period_has_no_short_arrivals(self):
+        inst = background_shortterm_instance(quiet_after=512)
+        bg = inst.metadata["background_color"]
+        late = [
+            j for j in inst.sequence.jobs()
+            if j.arrival >= 512 and j.color != bg
+        ]
+        assert late == []
+
+    def test_background_arrives_at_zero(self):
+        inst = background_shortterm_instance(background_jobs=16)
+        bg = inst.metadata["background_color"]
+        bg_jobs = [j for j in inst.sequence.jobs() if j.color == bg]
+        assert len(bg_jobs) == 16
+        assert all(j.arrival == 0 for j in bg_jobs)
+
+
+class TestDatacenter:
+    def test_deterministic_in_seed(self):
+        shapes = lambda inst: [
+            (j.color, j.arrival) for j in inst.sequence.jobs()
+        ]
+        assert shapes(datacenter_workload(seed=1)) == shapes(datacenter_workload(seed=1))
+        assert shapes(datacenter_workload(seed=1)) != shapes(datacenter_workload(seed=2))
+
+    def test_all_services_appear(self):
+        inst = datacenter_workload(num_services=6, horizon=512, seed=0)
+        assert len(inst.sequence.colors()) == 6
+
+    def test_demand_drifts(self):
+        """Each service's arrivals are nonuniform over time (the drift)."""
+        inst = datacenter_workload(num_services=4, horizon=512, seed=3,
+                                   drift_period=128.0, total_rate=8.0)
+        # Compare service 0's arrivals in two windows a half-period apart.
+        counts = [0, 0]
+        for job in inst.sequence.jobs():
+            if job.color == 0:
+                if job.arrival < 64:
+                    counts[0] += 1
+                elif 64 <= job.arrival < 128:
+                    counts[1] += 1
+        assert counts[0] != counts[1]
+
+    def test_per_service_bounds(self):
+        inst = datacenter_workload(seed=4)
+        inst.sequence.delay_bounds()  # consistent per color
+
+
+class TestRouter:
+    def test_deterministic_in_seed(self):
+        a = router_workload(seed=5)
+        b = router_workload(seed=5)
+        assert a.sequence.num_jobs == b.sequence.num_jobs
+
+    def test_bursts_present(self):
+        inst = router_workload(seed=0, horizon=2048, burst_prob=0.05)
+        per_round = [len(inst.sequence.request(r)) for r in range(2048)]
+        assert max(per_round) > 8  # at least one heavy burst
+
+    def test_all_classes_appear(self):
+        inst = router_workload(num_classes=5, horizon=1024, seed=1)
+        assert len(inst.sequence.colors()) == 5

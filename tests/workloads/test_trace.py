@@ -1,0 +1,108 @@
+"""Unit tests for trace persistence."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.workloads.trace import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+from repro.workloads.generators import bursty_workload, rate_limited_workload
+
+
+class TestRoundTrip:
+    def test_jobs_identical(self):
+        inst = rate_limited_workload(num_colors=4, horizon=32, delta=3, seed=1)
+        restored = instance_from_json(instance_to_json(inst))
+        original = [(j.uid, j.color, j.arrival, j.delay_bound)
+                    for j in inst.sequence.jobs()]
+        back = [(j.uid, j.color, j.arrival, j.delay_bound)
+                for j in restored.sequence.jobs()]
+        assert original == back
+        assert restored.delta == inst.delta
+        assert restored.name == inst.name
+
+    def test_metadata_survives_numpy_scalars(self):
+        inst = bursty_workload(num_colors=3, horizon=32, delta=2, seed=2)
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.metadata["seed"] == 2
+        assert list(restored.metadata["bounds"]) == [int(b) for b in inst.metadata["bounds"]]
+
+    def test_horizon_preserved(self):
+        seq = RequestSequence([Job(color=0, arrival=0, delay_bound=2)], horizon=50)
+        inst = Instance(seq, 2, name="padded")
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.horizon == 50
+
+    def test_file_round_trip(self, tmp_path):
+        inst = rate_limited_workload(num_colors=3, horizon=16, delta=2, seed=3)
+        path = tmp_path / "trace.json"
+        save_instance(inst, path)
+        restored = load_instance(path)
+        assert restored.sequence.num_jobs == inst.sequence.num_jobs
+
+    def test_same_costs_after_reload(self, tmp_path):
+        from repro.reductions.pipeline import solve_online
+
+        inst = bursty_workload(num_colors=4, horizon=64, delta=3, seed=4)
+        path = tmp_path / "trace.json"
+        save_instance(inst, path)
+        restored = load_instance(path)
+        a = solve_online(inst, n=8, record_events=False).total_cost
+        b = solve_online(restored, n=8, record_events=False).total_cost
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="not a repro trace"):
+            instance_from_json('{"format": "something-else"}')
+
+    def test_rejects_garbage(self):
+        with pytest.raises(Exception):
+            instance_from_json("not json at all")
+
+
+class TestCsvImport:
+    def test_basic_rows(self):
+        from repro.workloads.trace import instance_from_csv
+
+        inst = instance_from_csv(
+            "ssl,0,4\nssl,1,4\ndns,2,2\n", delta=2, name="demo"
+        )
+        assert inst.sequence.num_jobs == 3
+        assert inst.sequence.delay_bounds() == {"ssl": 4, "dns": 2}
+
+    def test_header_comments_and_blanks_skipped(self):
+        from repro.workloads.trace import instance_from_csv
+
+        text = "color,arrival,delay_bound\n# comment\n\n7,0,2\n"
+        inst = instance_from_csv(text, delta=1)
+        job = next(inst.sequence.jobs())
+        assert job.color == 7  # numeric colors parsed as ints
+
+    def test_malformed_row_reports_line(self):
+        from repro.workloads.trace import instance_from_csv
+
+        with pytest.raises(ValueError, match="line 2"):
+            instance_from_csv("a,0,2\nbad row\n", delta=1)
+
+    def test_inconsistent_bounds_rejected(self):
+        from repro.workloads.trace import instance_from_csv
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            instance_from_csv("a,0,2\na,1,4\n", delta=1)
+
+    def test_file_loader_and_solve(self, tmp_path):
+        from repro.reductions.pipeline import solve_online
+        from repro.workloads.trace import load_csv
+
+        path = tmp_path / "packets.csv"
+        path.write_text("web,0,4\nweb,1,4\nvoip,1,2\nvoip,3,2\n")
+        inst = load_csv(path, delta=2)
+        assert inst.name == "packets"
+        res = solve_online(inst, n=4)
+        assert res.total_cost >= 0
