@@ -8,7 +8,7 @@ can be pasted into EXPERIMENTS.md verbatim.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 
 class Table:
@@ -18,6 +18,21 @@ class Table:
         self.title = title
         self.columns = list(columns)
         self.rows: list[list[str]] = []
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality — two tables are equal iff they render identically.
+
+        Needed so ``ExperimentResult`` (a dataclass holding a table) compares
+        by content; the determinism suite asserts serial and parallel runs
+        produce *equal* payloads, not merely equal renders.
+        """
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.title == other.title
+            and self.columns == other.columns
+            and self.rows == other.rows
+        )
 
     def add_row(self, *values: object) -> None:
         if len(values) != len(self.columns):
@@ -55,6 +70,26 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def stats_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> Table:
+    """Tabulate a stream of homogeneous record dicts (e.g. runner metrics).
+
+    Columns default to the first record's keys; records missing a key get
+    ``-``.  Kept here (not in the runner) so any record-shaped data — task
+    metrics, sweep rows, benchmark summaries — can reuse it.
+    """
+    materialized = [dict(r) for r in rows]
+    if columns is None:
+        columns = list(materialized[0]) if materialized else []
+    table = Table(list(columns), title=title)
+    for record in materialized:
+        table.add_row(*[record.get(c, "-") for c in columns])
+    return table
 
 
 def _fmt(value: object) -> str:

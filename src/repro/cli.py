@@ -4,20 +4,26 @@ Examples::
 
     repro list
     repro experiment E1 --scale full
-    repro all --scale quick
+    repro all --scale quick --jobs 4 --stats
+    repro sweep --workload poisson --deltas 2,4 --ns 8,16 --seeds 0,1,2 --jobs 4
     repro solve --workload poisson --n 16 --delta 4 --seed 7
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
-from typing import Callable, Sequence
+from functools import partial
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
 
 from repro.analysis.metrics import collect_metrics
 from repro.core.request import Instance
 from repro.core.simulator import simulate
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.runner import run_parallel
 from repro.policies.baselines import (
     ClassicLRUPolicy,
     GreedyUtilizationPolicy,
@@ -80,6 +86,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser("all", help="run the whole experiment suite")
     p_all.add_argument("--scale", default="quick", choices=["quick", "full"])
+    p_all.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = one per core); output is "
+                       "bit-identical at any value")
+    p_all.add_argument("--seed", type=int, default=0,
+                       help="root seed for derived seed streams")
+    p_all.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    p_all.add_argument("--stats", action="store_true",
+                       help="print per-task timing/cache metrics and write "
+                       "them to benchmarks/output/runner_stats.json")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="grid-sweep the pipeline solver over delta x n x seed"
+    )
+    p_sweep.add_argument("--workload", default="poisson", choices=sorted(WORKLOADS))
+    p_sweep.add_argument("--deltas", default="2,4", help="comma-separated Delta values")
+    p_sweep.add_argument("--ns", default="8,16", help="comma-separated resource counts")
+    p_sweep.add_argument("--seeds", default="0,1,2", help="comma-separated seeds")
+    p_sweep.add_argument("--horizon", type=int, default=None)
+    p_sweep.add_argument("--value", default="total_cost",
+                         help="which measurement to tabulate")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = one per core)")
 
     p_solve = sub.add_parser(
         "solve", help="generate (or load) a workload and run a solver on it"
@@ -127,6 +156,65 @@ def _make_instance(args: argparse.Namespace) -> Instance:
     return WORKLOADS[args.workload](**kwargs)
 
 
+def _int_list(text: str) -> list[int]:
+    try:
+        return [int(tok) for tok in text.split(",") if tok.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"expected comma-separated integers, got {text!r}")
+
+
+def _sweep_build(workload: str, horizon: int | None, point: Mapping) -> Instance:
+    """Build one sweep cell's instance.
+
+    Module-level (with ``functools.partial`` for the fixed arguments) so the
+    parallel sweep can pickle it into worker processes.
+    """
+    kwargs: dict = {"delta": point["delta"], "seed": point["seed"]}
+    if horizon is not None:
+        kwargs["horizon"] = horizon
+    return WORKLOADS[workload](**kwargs)
+
+
+def _sweep_run(instance: Instance, point: Mapping) -> Mapping:
+    result = solve_online(instance, n=point["n"], record_events=False)
+    return dict(result.ledger.summary())
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import SweepResult, grid, run_sweep
+
+    deltas = _int_list(args.deltas)
+    ns = _int_list(args.ns)
+    seeds = _int_list(args.seeds)
+    if not (deltas and ns and seeds):
+        raise SystemExit("sweep needs at least one delta, one n, and one seed")
+    points = grid(delta=deltas, n=ns, seed=seeds)
+    sweep = run_sweep(
+        points,
+        partial(_sweep_build, args.workload, args.horizon),
+        _sweep_run,
+        jobs=args.jobs,
+    )
+    if args.value not in sweep.rows[0]:
+        choices = sorted(k for k in sweep.rows[0] if k not in ("delta", "n", "seed"))
+        raise SystemExit(f"unknown --value {args.value!r}; choose from {choices}")
+    aggregated = SweepResult()
+    for delta in deltas:
+        for n in ns:
+            cells = sweep.where(delta=delta, n=n).column(args.value)
+            aggregated.rows.append({
+                "delta": delta, "n": n,
+                args.value: round(statistics.fmean(cells), 3),
+            })
+    table = aggregated.pivot(
+        "delta", "n", args.value,
+        title=f"{args.workload}: mean {args.value} over {len(seeds)} seed(s)",
+    )
+    print(table.render())
+    print(f"\n{len(points)} cells (jobs={max(1, args.jobs)})")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _main(argv)
@@ -161,14 +249,32 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return 0 if result.all_passed else 1
 
     if args.command == "all":
-        failures = 0
-        for eid in EXPERIMENTS:
-            result = run_experiment(eid, args.scale)
+        report = run_parallel(
+            list(EXPERIMENTS),
+            scale=args.scale,
+            jobs=args.jobs,
+            root_seed=args.seed,
+            use_cache=not args.no_cache,
+        )
+        for result in report.results.values():
             print(result.render())
             print()
-            failures += 0 if result.all_passed else 1
-        print(f"{len(EXPERIMENTS) - failures}/{len(EXPERIMENTS)} experiments passed all checks")
-        return 0 if failures == 0 else 1
+        print(f"{len(EXPERIMENTS) - report.failures}/{len(EXPERIMENTS)} "
+              f"experiments passed all checks")
+        if args.stats:
+            print()
+            print(report.stats_table().render())
+            out_dir = Path("benchmarks/output")
+            if out_dir.is_dir():
+                stats_path = out_dir / "runner_stats.json"
+                stats_path.write_text(
+                    json.dumps(report.stats_payload(), indent=2) + "\n"
+                )
+                print(f"\nwrote {stats_path}")
+        return 0 if report.failures == 0 else 1
+
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
     if args.command == "solve":
         if args.trace is not None:

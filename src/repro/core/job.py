@@ -17,6 +17,7 @@ of colors").
 
 from __future__ import annotations
 
+import itertools as _itertools
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -30,14 +31,21 @@ Color = Hashable
 #: as "not configured".
 BLACK: Color = None
 
-_NEXT_JOB_ID = 0
+#: Process-unique job-id source.  ``itertools.count`` instead of a global
+#: ``+=`` because ``next()`` on a count is atomic under CPython, so
+#: concurrent instance builders (thread pools, the parallel runner's inline
+#: path) can never mint duplicate uids.  Only *relative* uid order within
+#: one instance is ever consulted (the EDF tie-break in ``sort_key``), so
+#: the absolute counter value — which differs between a fresh worker
+#: process and a warm one — cannot leak into schedules, costs, or cached
+#: experiment payloads; ``tests/experiments/test_rng_isolation.py`` pins
+#: this down.
+_JOB_IDS = _itertools.count(1)
 
 
 def _fresh_job_id() -> int:
     """Return a process-unique job id (used when the caller supplies none)."""
-    global _NEXT_JOB_ID
-    _NEXT_JOB_ID += 1
-    return _NEXT_JOB_ID
+    return next(_JOB_IDS)
 
 
 @dataclass(frozen=True, slots=True)

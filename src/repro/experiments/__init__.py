@@ -6,18 +6,42 @@ function takes ``scale`` (``"quick"`` for CI-sized runs, ``"full"`` for the
 CLI) and returns an :class:`ExperimentResult` whose ``checks`` are asserted
 by the integration tests and whose ``table`` is what the benchmark harness
 prints.
+
+Execution goes through :mod:`repro.experiments.runner` — a parallel engine
+with deterministic seed streams (:mod:`repro.experiments.seeds`) and a
+content-addressed result cache (:mod:`repro.experiments.cache`) — so
+``repro all --jobs N`` is bit-identical to a serial run at any ``N``.
 """
 
-from repro.experiments.common import ExperimentResult, Check
-from repro.experiments.montecarlo import Replication, replicate
+from repro.experiments.cache import ResultCache, cache_key, default_cache_dir
+from repro.experiments.common import Check, ExperimentResult
+from repro.experiments.montecarlo import Replication, replicate, replicate_seeded
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.runner import (
+    RunReport,
+    TaskRecord,
+    replicate_parallel,
+    run_parallel,
+)
+from repro.experiments.seeds import SeedStream, derive_seed, replication_seeds
 
 __all__ = [
     "ExperimentResult",
     "Check",
     "Replication",
     "replicate",
+    "replicate_seeded",
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "RunReport",
+    "TaskRecord",
+    "run_parallel",
+    "replicate_parallel",
+    "SeedStream",
+    "derive_seed",
+    "replication_seeds",
 ]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,6 +35,33 @@ class ExperimentResult:
     @property
     def all_passed(self) -> bool:
         return all(c.passed for c in self.checks)
+
+    def payload(self) -> dict:
+        """Canonical, JSON-serializable view of the whole result.
+
+        Everything an experiment produced — table cells included — in one
+        plain dict.  This is what the determinism suite compares across
+        worker counts and what :meth:`fingerprint` hashes; anything
+        non-JSON in ``data`` is rendered through ``repr`` so the encoding
+        is still deterministic.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "table": {
+                "title": self.table.title,
+                "columns": list(self.table.columns),
+                "rows": [list(row) for row in self.table.rows],
+            },
+            "checks": [[c.description, c.passed] for c in self.checks],
+            "data": self.data,
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical payload — equal iff results match."""
+        blob = json.dumps(self.payload(), sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def render(self) -> str:
         lines = [

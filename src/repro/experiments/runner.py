@@ -1,0 +1,296 @@
+"""Parallel experiment engine: fan-out, caching, and run metrics.
+
+``repro.cli all`` used to walk the 19-experiment registry serially in one
+process.  This module fans registry experiments, Monte-Carlo seed
+replications, and sweep grids out over a :class:`ProcessPoolExecutor`
+while keeping three guarantees:
+
+1. **Determinism** — task seeds come from :mod:`repro.experiments.seeds`
+   (pure functions of ``(root_seed, task label)``), and results are
+   reassembled in *request* order, never completion order.  ``jobs=1`` and
+   ``jobs=N`` therefore produce bit-identical payloads.
+2. **Caching** — each cell is stored in the content-addressed
+   :class:`~repro.experiments.cache.ResultCache` keyed by
+   (experiment, scale, seed, package version); warm re-runs and
+   overlapping sweeps skip straight to the answer.
+3. **Observability** — every task yields a :class:`TaskRecord` (wall time,
+   cache hit/miss, rounds simulated, worker pid) that the CLI surfaces via
+   ``--stats`` and writes next to ``benchmarks/output/``.
+
+Workers receive only picklable primitives (experiment id, scale, cache
+directory); the experiment callable is looked up in the registry *inside*
+the worker, so nothing fragile crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.reporting import Table, stats_table
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.common import ExperimentResult
+from repro.experiments.montecarlo import Replication
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.seeds import replication_seeds
+
+__all__ = [
+    "TaskRecord",
+    "RunReport",
+    "run_parallel",
+    "replicate_parallel",
+    "resolve_jobs",
+]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Per-task execution metrics (one row of the ``--stats`` table)."""
+
+    experiment_id: str
+    scale: str
+    seed: int | None
+    cache_hit: bool
+    wall_time: float
+    rounds: int | None
+    checks_passed: int
+    checks_total: int
+    worker_pid: int
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "scale": self.scale,
+            "seed": self.seed,
+            "cache": "hit" if self.cache_hit else "miss",
+            "wall_time_s": round(self.wall_time, 4),
+            "rounds": self.rounds,
+            "checks": f"{self.checks_passed}/{self.checks_total}",
+            "worker_pid": self.worker_pid,
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything one ``run_parallel`` invocation produced."""
+
+    results: dict[str, ExperimentResult]
+    records: list[TaskRecord] = field(default_factory=list)
+    jobs: int = 1
+    root_seed: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(result.all_passed for result in self.results.values())
+
+    @property
+    def failures(self) -> int:
+        return sum(0 if result.all_passed else 1 for result in self.results.values())
+
+    def stats_table(self) -> Table:
+        total = len(self.records)
+        hits = self.cache_hits
+        wall = sum(r.wall_time for r in self.records)
+        title = (
+            f"runner stats — jobs={self.jobs}, cache hits {hits}/{total}, "
+            f"task wall time {wall:.2f}s"
+        )
+        return stats_table((r.as_dict() for r in self.records), title=title)
+
+    def stats_payload(self) -> dict:
+        """JSON-ready stats document (written alongside ``benchmarks/output/``)."""
+        return {
+            "jobs": self.jobs,
+            "root_seed": self.root_seed,
+            "tasks": len(self.records),
+            "cache_hits": self.cache_hits,
+            "task_wall_time_s": round(sum(r.wall_time for r in self.records), 4),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _rounds_of(result: ExperimentResult) -> int | None:
+    """Best-effort "rounds simulated" from a result's table or data."""
+    data_rounds = result.data.get("rounds")
+    if isinstance(data_rounds, (int, float)):
+        return int(data_rounds)
+    try:
+        idx = result.table.columns.index("rounds")
+    except ValueError:
+        return None
+    total = 0
+    for row in result.table.rows:
+        try:
+            total += int(float(row[idx]))
+        except (ValueError, IndexError):
+            return None
+    return total
+
+
+def _execute_experiment(
+    experiment_id: str,
+    scale: str,
+    cache_dir: str | None,
+    use_cache: bool,
+) -> tuple[ExperimentResult, bool, float, int]:
+    """Worker body: cache lookup, compute on miss, store, time it.
+
+    Module-level on purpose — :class:`ProcessPoolExecutor` pickles the
+    callable by qualified name.  Returns ``(result, cache_hit, wall, pid)``.
+    """
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if use_cache else None
+    key = cache_key(experiment_id, scale)
+    result = cache.get(key) if cache is not None else None
+    hit = result is not None
+    if result is None:
+        result = run_experiment(experiment_id, scale)
+        if cache is not None:
+            cache.put(key, result, meta={"experiment": experiment_id, "scale": scale})
+    return result, hit, time.perf_counter() - started, os.getpid()
+
+
+def run_parallel(
+    experiment_ids: Sequence[str] | None = None,
+    scale: str = "quick",
+    jobs: int = 1,
+    root_seed: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = True,
+) -> RunReport:
+    """Run experiments across a process pool; results in *request* order.
+
+    ``experiment_ids`` defaults to the full registry in its canonical
+    order.  ``jobs=1`` runs inline (no pool, no pickling) — the reference
+    execution every parallel run must match bit-for-bit.  ``cache_dir`` is
+    resolved once here so every worker addresses the same store even if the
+    environment mutates mid-run.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    for eid in ids:
+        if eid.upper() not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {eid!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+    ids = [eid.upper() for eid in ids]
+    jobs = resolve_jobs(jobs)
+    resolved_dir = str(ResultCache(cache_dir).root) if use_cache else None
+
+    outcomes: list[tuple[ExperimentResult, bool, float, int]]
+    if jobs == 1 or len(ids) <= 1:
+        outcomes = [
+            _execute_experiment(eid, scale, resolved_dir, use_cache) for eid in ids
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+            futures = [
+                pool.submit(_execute_experiment, eid, scale, resolved_dir, use_cache)
+                for eid in ids
+            ]
+            outcomes = [f.result() for f in futures]
+
+    report = RunReport(results={}, jobs=jobs, root_seed=root_seed)
+    for eid, (result, hit, wall, pid) in zip(ids, outcomes):
+        report.results[eid] = result
+        report.records.append(TaskRecord(
+            experiment_id=eid,
+            scale=scale,
+            seed=None,
+            cache_hit=hit,
+            wall_time=wall,
+            rounds=_rounds_of(result),
+            checks_passed=sum(1 for c in result.checks if c.passed),
+            checks_total=len(result.checks),
+            worker_pid=pid,
+        ))
+    return report
+
+
+def _execute_replication(
+    metric: Callable[[int], float],
+    label: str,
+    seed: int,
+    cache_dir: str | None,
+    use_cache: bool,
+) -> tuple[float, bool, float, int]:
+    """Worker body for one Monte-Carlo cell: ``metric(seed)`` with caching."""
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if use_cache else None
+    key = cache_key(label, "replication", seed, kind="montecarlo")
+    value = cache.get(key) if cache is not None else None
+    hit = value is not None
+    if value is None:
+        value = float(metric(seed))
+        if cache is not None:
+            cache.put(key, value, meta={"label": label, "seed": seed})
+    return float(value), hit, time.perf_counter() - started, os.getpid()
+
+
+def replicate_parallel(
+    metric: Callable[[int], float],
+    label: str,
+    count: int,
+    root_seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = False,
+) -> tuple[Replication, list[TaskRecord]]:
+    """Monte-Carlo fan-out: ``metric`` over ``count`` derived seeds.
+
+    Seeds come from :func:`replication_seeds`, so the value set — and
+    therefore the :class:`Replication` aggregate — is identical for every
+    ``jobs`` setting and every completion order.  With ``jobs > 1`` the
+    metric must be picklable (a module-level function or
+    ``functools.partial`` of one).  Caching is opt-in here because a bare
+    callable's identity is not part of the key — enable it only for metrics
+    whose behaviour is pinned by ``label`` and the package version.
+    """
+    if count < 1:
+        raise ValueError("replicate_parallel needs count >= 1")
+    seeds = replication_seeds(root_seed, label, count)
+    jobs = resolve_jobs(jobs)
+    resolved_dir = str(ResultCache(cache_dir).root) if use_cache else None
+
+    if jobs == 1 or count == 1:
+        outcomes = [
+            _execute_replication(metric, label, seed, resolved_dir, use_cache)
+            for seed in seeds
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, count)) as pool:
+            futures = [
+                pool.submit(_execute_replication, metric, label, seed,
+                            resolved_dir, use_cache)
+                for seed in seeds
+            ]
+            outcomes = [f.result() for f in futures]
+
+    records = [
+        TaskRecord(
+            experiment_id=label,
+            scale="replication",
+            seed=seed,
+            cache_hit=hit,
+            wall_time=wall,
+            rounds=None,
+            checks_passed=0,
+            checks_total=0,
+            worker_pid=pid,
+        )
+        for seed, (value, hit, wall, pid) in zip(seeds, outcomes)
+    ]
+    return Replication(tuple(value for value, *_ in outcomes)), records

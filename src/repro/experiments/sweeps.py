@@ -68,17 +68,47 @@ def grid(**axes: Iterable) -> list[dict]:
     return points
 
 
+def _sweep_cell(
+    build: Callable[[Mapping], Instance],
+    run: Callable[[Instance, Mapping], Mapping],
+    point: Mapping,
+) -> dict:
+    """One grid cell: build the instance, measure it, return the long row.
+
+    Module-level so :func:`run_sweep` can ship it to a process pool.
+    """
+    instance = build(point)
+    measurements = run(instance, point)
+    row = dict(point)
+    row.update(measurements)
+    return row
+
+
 def run_sweep(
     points: Iterable[Mapping],
     build: Callable[[Mapping], Instance],
     run: Callable[[Instance, Mapping], Mapping],
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run ``build`` then ``run`` at every point; collect long-form rows."""
+    """Run ``build`` then ``run`` at every point; collect long-form rows.
+
+    With ``jobs > 1`` the grid fans out over a process pool; rows still come
+    back in *point* order, so the result is identical to a serial run.
+    ``build`` and ``run`` must then be picklable (module-level functions or
+    ``functools.partial`` of them), since each cell crosses a process
+    boundary.
+    """
+    point_list = [dict(p) for p in points]
     result = SweepResult()
-    for point in points:
-        instance = build(point)
-        measurements = run(instance, point)
-        row = dict(point)
-        row.update(measurements)
-        result.rows.append(row)
+    if jobs <= 1 or len(point_list) <= 1:
+        result.rows = [_sweep_cell(build, run, p) for p in point_list]
+        return result
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(point_list))) as pool:
+        futures = [
+            pool.submit(_sweep_cell, build, run, point) for point in point_list
+        ]
+        result.rows = [f.result() for f in futures]
     return result

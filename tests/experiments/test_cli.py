@@ -117,18 +117,75 @@ class TestVerifyCommand:
 
 
 class TestAllCommand:
-    def test_all_runs_registry_subset(self, capsys, monkeypatch):
-        import repro.cli as cli
+    @staticmethod
+    def _isolate(monkeypatch, tmp_path):
+        """Point the runner's cache away from the user's real store."""
         from repro.experiments.adversarial import run_e1, run_e4
 
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.setattr(
             "repro.cli.EXPERIMENTS", {"E1": run_e1, "E4": run_e4}
         )
+
+    def test_all_runs_registry_subset(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
         assert main(["all", "--scale", "quick"]) == 0
         out = capsys.readouterr().out
         assert "## E1" in out
         assert "## E4" in out
         assert "2/2 experiments passed" in out
+
+    def test_all_parallel_output_matches_serial(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        assert main(["all", "--scale", "quick", "--jobs", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["all", "--scale", "quick", "--jobs", "2", "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_all_stats_reports_cache_hits(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        assert main(["all", "--scale", "quick"]) == 0
+        capsys.readouterr()
+        assert main(["all", "--scale", "quick", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits 2/2" in out
+        assert "runner stats" in out
+
+    def test_all_no_cache_leaves_store_empty(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        assert main(["all", "--scale", "quick", "--no-cache"]) == 0
+        assert not list((tmp_path / "cache").glob("*/*.pkl"))
+
+
+class TestSweepCommand:
+    def test_sweep_pivot_table(self, capsys):
+        assert main([
+            "sweep", "--workload", "poisson", "--deltas", "2,4",
+            "--ns", "8", "--seeds", "0,1", "--horizon", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean total_cost" in out
+        assert "n=8" in out
+        assert "4 cells" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = ["sweep", "--workload", "uniform", "--deltas", "2",
+                "--ns", "4,8", "--seeds", "0,1", "--horizon", "32"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "") == parallel.replace("jobs=2", "")
+
+    def test_sweep_rejects_bad_value(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--deltas", "2", "--ns", "4", "--seeds", "0",
+                  "--horizon", "16", "--value", "nonsense"])
+
+    def test_sweep_rejects_bad_int_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--deltas", "two", "--ns", "4", "--seeds", "0"])
 
 
 class TestEveryPolicyChoice:

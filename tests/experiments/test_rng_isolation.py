@@ -1,0 +1,93 @@
+"""Regression tests: no shared mutable state between interleaved experiments.
+
+The parallelism audit (DESIGN.md §"Parallel runner") found every workload
+generator already builds a private ``np.random.default_rng(seed)`` per call
+— no module-level RNG anywhere in ``src/`` — and one genuine piece of
+process-global mutable state: the ``Job.uid`` counter in
+``repro.core.job``.  These tests pin both facts down so a future
+module-level RNG or uid-order dependence reintroduced anywhere in the
+experiment path fails CI immediately.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.job import Job
+from repro.experiments.registry import run_experiment
+from repro.workloads.generators import (
+    bursty_workload,
+    poisson_workload,
+    rate_limited_workload,
+)
+
+
+def _stream(instance):
+    """The generator's observable draw sequence (uids excluded on purpose)."""
+    return [(j.color, j.arrival, j.delay_bound) for j in instance.sequence.jobs()]
+
+
+class TestGeneratorIsolation:
+    def test_interleaved_generators_do_not_perturb_each_other(self):
+        # Reference streams, generated back-to-back.
+        a_ref = _stream(poisson_workload(delta=3, seed=0, horizon=64))
+        b_ref = _stream(bursty_workload(delta=3, seed=1, horizon=64))
+        # Now interleave the two studies — and pollute the global ``random``
+        # module between calls, as a badly-behaved neighbour task would.
+        random.seed(999)
+        a_again = _stream(poisson_workload(delta=3, seed=0, horizon=64))
+        random.random()
+        b_again = _stream(bursty_workload(delta=3, seed=1, horizon=64))
+        random.seed(0)
+        assert a_again == a_ref
+        assert b_again == b_ref
+
+    def test_generator_draws_survive_foreign_generator_calls(self):
+        ref = _stream(rate_limited_workload(delta=2, seed=7, horizon=64))
+        for seed in range(5):  # burn a different generator's RNG state
+            bursty_workload(delta=2, seed=seed, horizon=32)
+        assert _stream(rate_limited_workload(delta=2, seed=7, horizon=64)) == ref
+
+
+class TestExperimentIsolation:
+    def test_interleaved_experiments_reproduce_solo_runs(self):
+        solo_e1 = run_experiment("E1", "quick").fingerprint()
+        solo_e2 = run_experiment("E2", "quick").fingerprint()
+        # Opposite order, back to back: any cross-experiment state leak
+        # (module RNG, caches, counters feeding results) breaks equality.
+        inter_e2 = run_experiment("E2", "quick").fingerprint()
+        inter_e1 = run_experiment("E1", "quick").fingerprint()
+        assert inter_e1 == solo_e1
+        assert inter_e2 == solo_e2
+
+    def test_uid_counter_offset_cannot_leak_into_results(self):
+        before = run_experiment("E14", "quick").fingerprint()
+        # Advance the process-global Job.uid counter by a large, odd amount
+        # — as another experiment running first in the same worker would.
+        for _ in range(1013):
+            Job(color=0, arrival=0, delay_bound=1)
+        after = run_experiment("E14", "quick").fingerprint()
+        assert after == before
+
+
+class TestUidCounter:
+    def test_concurrent_minting_never_duplicates(self):
+        # ``next(itertools.count)`` is atomic under CPython; the old
+        # ``global n; n += 1`` read-modify-write was not.
+        def mint(_):
+            return [Job(color=0, arrival=0, delay_bound=1).uid for _ in range(200)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            batches = list(pool.map(mint, range(8)))
+        uids = [uid for batch in batches for uid in batch]
+        assert len(set(uids)) == len(uids)
+
+    def test_relative_order_within_an_instance_is_stable(self):
+        # The EDF tie-break consults relative uid order; building the same
+        # instance twice must rank its jobs identically.
+        first = rate_limited_workload(delta=2, seed=3, horizon=32)
+        second = rate_limited_workload(delta=2, seed=3, horizon=32)
+        first_rank = sorted(range(len(_stream(first))),
+                            key=lambda i: list(first.sequence.jobs())[i].sort_key())
+        second_rank = sorted(range(len(_stream(second))),
+                             key=lambda i: list(second.sequence.jobs())[i].sort_key())
+        assert first_rank == second_rank
