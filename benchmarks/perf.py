@@ -1,0 +1,15 @@
+"""Thin runner for the incremental-vs-reference perf harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf.py --scale full
+
+Equivalent to ``python -m repro.cli perf``; writes ``BENCH_perf.json``.
+"""
+
+import sys
+
+from repro.experiments.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,23 @@ locations while keeping already-correctly-colored locations untouched, so
 the reconfiguration cost charged equals the multiset distance between the
 old and new configurations — no policy can be over-charged by unlucky
 placement.
+
+The bank keeps a persistent ``color -> sorted locations`` index plus a
+sorted free (black) list, so ``reconfigure_to`` diffs the desired multiset
+against the current one in time proportional to the *changes* rather than
+rescanning all ``n`` locations every mini-round.  The original scan-based
+diff survives as ``incremental=False`` — the two modes are bit-identical
+(same change list in the same order; the property suite and the perf
+harness both enforce this), which is what lets ``benchmarks``/``repro
+perf`` report a before/after trajectory against the same digests.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from bisect import bisect_left, insort
+from collections import Counter
+from heapq import merge as _heapmerge
+from itertools import chain, islice
 from typing import Iterable, Sequence
 
 from repro.core.job import BLACK, Color
@@ -20,12 +32,29 @@ from repro.core.ledger import CostLedger
 
 
 class ResourceBank:
-    """``n`` colored resources with minimal-cost multiset reconfiguration."""
+    """``n`` colored resources with minimal-cost multiset reconfiguration.
 
-    def __init__(self, n: int):
+    ``incremental`` selects the diffing algorithm inside
+    :meth:`reconfigure_to`: the maintained-index diff (default) or the
+    original full-scan reference.  Both produce identical change lists;
+    the flag exists so the perf harness can time old-vs-new on live runs.
+    """
+
+    def __init__(self, n: int, incremental: bool = True):
         if n < 1:
             raise ValueError(f"need at least one resource, got {n}")
         self._colors: list[Color] = [BLACK] * n
+        self.incremental = incremental
+        #: sorted location lists per configured (non-black) color.
+        self._locs: dict[Color, list[int]] = {}
+        #: sorted list of black (unconfigured) locations.
+        self._black: list[int] = list(range(n))
+        #: recolor counter + last satisfied desired-list identity: when a
+        #: policy re-submits the very object that the bank already satisfied
+        #: (and nothing recolored since), the diff is a guaranteed no-op.
+        self._mutations = 0
+        self._satisfied: object = None
+        self._satisfied_at = -1
 
     # -- inspection -----------------------------------------------------------
 
@@ -41,16 +70,65 @@ class ResourceBank:
         return tuple(self._colors)
 
     def configured_colors(self) -> Counter:
-        """Multiset of currently configured (non-black) colors."""
+        """Multiset of currently configured (non-black) colors.
+
+        Scans the locations so the Counter's iteration order matches the
+        historical first-occurrence-by-location order (the offline window
+        planner's greedy tie-breaks observe it).
+        """
         counts: Counter = Counter(self._colors)
         counts.pop(BLACK, None)
         return counts
 
     def locations_of(self, color: Color) -> list[int]:
-        return [i for i, c in enumerate(self._colors) if c == color]
+        return list(self._locs.get(color, ()))
 
     def is_configured(self, color: Color) -> bool:
-        return color in self._colors
+        return color in self._locs
+
+    def configured_location_count(self) -> int:
+        """Number of non-black locations."""
+        return self.n - len(self._black)
+
+    def nonblack_locations_of_any(self, colors: Iterable[Color]) -> Iterable[int]:
+        """Ascending locations currently configured to any of ``colors``."""
+        lists = [self._locs[c] for c in colors if c in self._locs]
+        if not lists:
+            return ()
+        if len(lists) == 1:
+            return iter(lists[0])
+        # The lists are disjoint and short; one C-level sort of the
+        # concatenation beats a heap merge.
+        out: list[int] = []
+        for held in lists:
+            out += held
+        out.sort()
+        return out
+
+    # -- internal index maintenance -----------------------------------------------
+
+    def _apply(self, location: int, color: Color) -> None:
+        """Recolor one location, keeping the index in sync."""
+        old = self._colors[location]
+        if old == color:
+            return
+        if old is BLACK:
+            del self._black[bisect_left(self._black, location)]
+        else:
+            locs = self._locs[old]
+            del locs[bisect_left(locs, location)]
+            if not locs:
+                del self._locs[old]
+        if color is BLACK:
+            insort(self._black, location)
+        else:
+            locs = self._locs.get(color)
+            if locs is None:
+                self._locs[color] = [location]
+            else:
+                insort(locs, location)
+        self._colors[location] = color
+        self._mutations += 1
 
     # -- reconfiguration -------------------------------------------------------
 
@@ -73,6 +151,16 @@ class ResourceBank:
         Returns the list of ``(location, old_color, new_color)`` changes and
         charges each to ``ledger`` if given.
         """
+        if self.incremental:
+            if not isinstance(desired, list):
+                desired = list(desired)
+            if self._mutations == self._satisfied_at and (
+                desired is self._satisfied or desired == self._satisfied
+            ):
+                # The bank still holds every copy it held when this exact
+                # multiset was last satisfied, so the diff below would find
+                # no deficits.
+                return []
         want = Counter(desired)
         want.pop(BLACK, None)
         if sum(want.values()) > self.n:
@@ -80,7 +168,67 @@ class ResourceBank:
                 f"desired multiset has {sum(want.values())} colors "
                 f"but only {self.n} resources exist"
             )
+        if self.incremental:
+            plan = self._diff_incremental(want)
+        else:
+            plan = self._diff_scan(want)
+        changes: list[tuple[int, Color, Color]] = []
+        for loc, color in plan:
+            old = self._colors[loc]
+            self._apply(loc, color)
+            changes.append((loc, old, color))
+            if ledger is not None:
+                ledger.charge_reconfig(rnd, color)
+        if self.incremental:
+            self._satisfied = desired
+            self._satisfied_at = self._mutations
+        return changes
 
+    def _diff_incremental(self, want: Counter) -> list[tuple[int, Color]]:
+        """Multiset diff via the maintained index — O(changes)-ish.
+
+        Produces the exact ``(location, new_color)`` plan of the reference
+        scan: missing copies in first-appearance order of ``desired``, slots
+        in ascending location order within the black → unwanted → surplus
+        preference tiers (each color keeps its lowest-indexed copies).
+        """
+        locs = self._locs
+        missing: list[Color] = []
+        for color, count in want.items():
+            deficit = count - len(locs.get(color, ()))
+            if deficit > 0:
+                missing.extend([color] * deficit)
+        if not missing:
+            return []
+
+        # Candidate slots, lazily in preference order.  Surplus copies of a
+        # still-wanted color are its locations beyond the kept (lowest) ones;
+        # unwanted colors contribute every location.  ``heapq.merge`` keeps
+        # the ascending-location order of the reference scan.
+        surplus_lists = []
+        unwanted_lists = []
+        for color, held in locs.items():
+            wanted = want.get(color, 0)
+            if wanted == 0:
+                unwanted_lists.append(held)
+            elif len(held) > wanted:
+                surplus_lists.append(held[wanted:])
+        slots = list(
+            islice(
+                chain(
+                    self._black,
+                    _heapmerge(*unwanted_lists),
+                    _heapmerge(*surplus_lists),
+                ),
+                len(missing),
+            )
+        )
+        if len(slots) < len(missing):
+            raise AssertionError("slot accounting bug: not enough free slots")
+        return list(zip(slots, missing))
+
+    def _diff_scan(self, want: Counter) -> list[tuple[int, Color]]:
+        """Reference multiset diff: the original three-scan algorithm."""
         # Locations already holding a wanted color keep it (up to
         # multiplicity); everything else is a candidate slot.
         keep: list[bool] = [False] * self.n
@@ -99,34 +247,27 @@ class ResourceBank:
         missing: list[Color] = []
         for color, count in remaining.items():
             missing.extend([color] * count)
-
-        changes: list[tuple[int, Color, Color]] = []
-        if missing:
-            free_black = [i for i in range(self.n) if not keep[i] and self._colors[i] is BLACK]
-            free_unwanted = [
-                i
-                for i in range(self.n)
-                if not keep[i]
-                and self._colors[i] is not BLACK
-                and want.get(self._colors[i], 0) == 0
-            ]
-            free_surplus = [
-                i
-                for i in range(self.n)
-                if not keep[i]
-                and self._colors[i] is not BLACK
-                and want.get(self._colors[i], 0) > 0
-            ]
-            slots = free_black + free_unwanted + free_surplus
-            if len(slots) < len(missing):
-                raise AssertionError("slot accounting bug: not enough free slots")
-            for color, loc in zip(missing, slots):
-                old = self._colors[loc]
-                self._colors[loc] = color
-                changes.append((loc, old, color))
-                if ledger is not None:
-                    ledger.charge_reconfig(rnd, color)
-        return changes
+        if not missing:
+            return []
+        free_black = [i for i in range(self.n) if not keep[i] and self._colors[i] is BLACK]
+        free_unwanted = [
+            i
+            for i in range(self.n)
+            if not keep[i]
+            and self._colors[i] is not BLACK
+            and want.get(self._colors[i], 0) == 0
+        ]
+        free_surplus = [
+            i
+            for i in range(self.n)
+            if not keep[i]
+            and self._colors[i] is not BLACK
+            and want.get(self._colors[i], 0) > 0
+        ]
+        slots = free_black + free_unwanted + free_surplus
+        if len(slots) < len(missing):
+            raise AssertionError("slot accounting bug: not enough free slots")
+        return list(zip(slots, missing))
 
     def set_color(
         self, location: int, color: Color, rnd: int, ledger: CostLedger | None = None
@@ -138,7 +279,7 @@ class ResourceBank:
         """
         if self._colors[location] == color:
             return False
-        self._colors[location] = color
+        self._apply(location, color)
         if ledger is not None and color is not BLACK:
             ledger.charge_reconfig(rnd, color)
         elif ledger is not None:

@@ -1,0 +1,403 @@
+"""Perf harness: the incremental hot path vs the reference engine.
+
+Every simulator/policy pair in this codebase runs in one of two modes:
+
+- ``incremental=True`` (default) — index-diffed reconfiguration in the
+  resource bank, maintained rankings in the policies, sparse execution;
+- ``incremental=False`` — the historical full-scan / full-re-sort engine.
+
+The two are required to be **bit-identical**: same ledger, same schedule,
+same event log, job for job and location for location.  This harness
+measures the speedup of the first over the second on the same workloads the
+pytest benchmarks use (E12's datacenter scenario plus the three scaling
+series) and verifies the bit-identity contract on every case — both within
+this process and, optionally, across processes under different
+``PYTHONHASHSEED`` values (string-colored workloads would leak set
+iteration order into the schedules if any code path iterated a raw set).
+
+Results land in ``BENCH_perf.json`` at the repo root::
+
+    PYTHONPATH=src python -m repro.cli perf --scale full
+    PYTHONPATH=src python benchmarks/perf.py --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.core.simulator import SimulationResult, Simulator
+from repro.policies.dlru_edf import DeltaLRUEDFPolicy
+from repro.workloads.generators import rate_limited_workload
+from repro.workloads.scenarios import datacenter_workload
+
+SCHEMA = "bench-perf-v1"
+
+#: PYTHONHASHSEED values for the cross-process determinism leg (≥3 distinct
+#: seeds, none of them 0, so hash-order bugs cannot hide behind a fixed seed).
+HASHSEED_SEEDS = (1, 7, 1234)
+
+_WORKLOADS = {
+    "rate-limited": rate_limited_workload,
+    "datacenter": datacenter_workload,
+}
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One timed workload: a generator, its parameters, and the resources."""
+
+    name: str
+    workload: str
+    params: Mapping[str, int]
+    n: int
+    #: membership: "quick" runs a subset, "full" runs everything.
+    scales: tuple[str, ...] = ("quick", "full")
+    #: the acceptance gate (>= 1.5x) applies to the largest case only.
+    largest: bool = False
+
+
+#: The perf suite mirrors the pytest benchmarks: E12's datacenter scenario
+#: (quick and full parameters) and the largest point of each scaling series.
+CASES: tuple[PerfCase, ...] = (
+    PerfCase(
+        name="e12_datacenter_quick",
+        workload="datacenter",
+        params={"num_services": 8, "horizon": 2048, "delta": 8, "seed": 0},
+        n=16,
+    ),
+    PerfCase(
+        name="scaling_horizon_4096",
+        workload="rate-limited",
+        params={"num_colors": 8, "horizon": 4096, "delta": 4, "seed": 0},
+        n=16,
+        scales=("full",),
+    ),
+    PerfCase(
+        name="scaling_colors_64",
+        workload="rate-limited",
+        params={"num_colors": 64, "horizon": 512, "delta": 4, "seed": 0},
+        n=16,
+        scales=("full",),
+    ),
+    PerfCase(
+        name="scaling_resources_128",
+        workload="rate-limited",
+        params={"num_colors": 16, "horizon": 512, "delta": 4, "seed": 0},
+        n=128,
+        scales=("full",),
+    ),
+    PerfCase(
+        name="e12_datacenter_full",
+        workload="datacenter",
+        params={"num_services": 16, "horizon": 16384, "delta": 8, "seed": 0},
+        n=32,
+        scales=("full",),
+    ),
+    # The largest scale: the full E12 horizon crossed with the resource count
+    # of the largest scaling-series point.  The reference engine's O(n)
+    # scans per mini-round dominate here; the incremental engine touches
+    # only changed locations and nonidle colors.
+    PerfCase(
+        name="e12_datacenter_large",
+        workload="datacenter",
+        params={"num_services": 32, "horizon": 16384, "delta": 8, "seed": 0},
+        n=128,
+        scales=("full",),
+        largest=True,
+    ),
+)
+
+
+def build_instance(case: PerfCase) -> Instance:
+    return _WORKLOADS[case.workload](**case.params)
+
+
+def run_case(
+    case: PerfCase,
+    incremental: bool,
+    record_events: bool,
+    instance: Instance | None = None,
+) -> SimulationResult:
+    """One simulation of ``case`` on the selected engine.
+
+    Digest comparisons must pass the *same* ``instance`` to both engines:
+    job uids come from a process-global counter, so two builds of the same
+    workload carry different uid streams (and therefore different digests)
+    even though the runs are otherwise identical.
+    """
+    if instance is None:
+        instance = build_instance(case)
+    policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
+    sim = Simulator(
+        instance,
+        policy,
+        n=case.n,
+        record_events=record_events,
+        incremental=incremental,
+    )
+    return sim.run()
+
+
+def result_digest(result: SimulationResult) -> str:
+    """SHA-256 over everything the bit-identity contract covers."""
+    payload = {
+        "ledger": result.ledger.summary(),
+        "reconfigs_per_color": {
+            str(k): v for k, v in sorted(
+                result.ledger.reconfigs_per_color.items(), key=lambda kv: str(kv[0])
+            )
+        },
+        "drops_per_color": {
+            str(k): v for k, v in sorted(
+                result.ledger.drops_per_color.items(), key=lambda kv: str(kv[0])
+            )
+        },
+        "schedule": result.schedule.to_json(),
+        "events": [repr(e) for e in result.events],
+        "executed": sorted(result.executed_uids),
+        "dropped": sorted(result.dropped_uids),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def time_case(case: PerfCase, repeats: int) -> tuple[float, float]:
+    """Best-of-``repeats`` wall clock for (reference, incremental).
+
+    The repeats interleave the two engines and collect garbage before each
+    timed run, so clock drift and allocator state hit both sides equally
+    (events off, like the pytest benchmarks).
+    """
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(repeats):
+        for incremental in (False, True):
+            instance = build_instance(case)
+            policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
+            sim = Simulator(
+                instance,
+                policy,
+                n=case.n,
+                record_events=False,
+                incremental=incremental,
+            )
+            gc.collect()
+            start = time.perf_counter()
+            sim.run()
+            best[incremental] = min(
+                best[incremental], time.perf_counter() - start
+            )
+    return best[False], best[True]
+
+
+# -- the cross-process determinism leg ------------------------------------------
+
+
+def _string_relabel(instance: Instance) -> Instance:
+    """The same instance with string colors (``c0007``-style).
+
+    String colors are where PYTHONHASHSEED leaks show: if any engine path
+    iterated a raw set of colors, the desired-multiset order — and with it
+    location assignment, events, and schedules — would differ between hash
+    seeds.  Integer keys hash to themselves, so only strings catch it.
+    """
+    jobs = [
+        Job(
+            color=f"c{job.color:04d}",
+            arrival=job.arrival,
+            delay_bound=job.delay_bound,
+        )
+        for job in instance.sequence.jobs()
+    ]
+    return Instance(
+        RequestSequence(jobs), instance.delta, name=f"{instance.name}-str"
+    )
+
+
+def hashseed_digests() -> dict[str, str]:
+    """Digests of one string-colored run on each engine (current process)."""
+    instance = _string_relabel(
+        rate_limited_workload(num_colors=16, horizon=256, delta=4, seed=0)
+    )
+    out = {}
+    for label, incremental in (("incremental", True), ("reference", False)):
+        policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
+        result = Simulator(
+            instance, policy, n=16, incremental=incremental
+        ).run()
+        out[label] = result_digest(result)
+    return out
+
+
+_CHILD_CODE = (
+    "import json; from repro.experiments.perf import hashseed_digests; "
+    "print(json.dumps(hashseed_digests()))"
+)
+
+
+def check_hashseed_determinism(
+    seeds: Sequence[int] = HASHSEED_SEEDS,
+) -> dict:
+    """Run the string-colored digest in one subprocess per hash seed.
+
+    Returns ``{"seeds": [...], "digests": {...}, "identical": bool}`` where
+    ``identical`` means every seed and both engines produced one digest.
+    """
+    digests: dict[str, dict[str, str]] = {}
+    src_root = str(Path(__file__).resolve().parents[2])
+    for seed in seeds:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(seed)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_CODE],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        digests[str(seed)] = json.loads(proc.stdout)
+    flat = {d for per_seed in digests.values() for d in per_seed.values()}
+    return {
+        "seeds": list(seeds),
+        "digests": digests,
+        "identical": len(flat) == 1,
+    }
+
+
+# -- the harness ----------------------------------------------------------------
+
+
+def run_perf(
+    scale: str = "quick",
+    repeats: int = 3,
+    check_hashseed: bool = True,
+) -> dict:
+    """Time and digest-verify every case of ``scale``; return the payload."""
+    if scale not in ("quick", "full"):
+        raise ValueError(f"unknown scale {scale!r}")
+    cases = [case for case in CASES if scale in case.scales]
+    rows = []
+    for case in cases:
+        # Time first: the digest pass allocates full event logs, and its
+        # allocator footprint would otherwise bleed into the wall clocks.
+        ref_s, inc_s = time_case(case, repeats)
+        shared = build_instance(case)
+        ref_digest = result_digest(
+            run_case(case, False, record_events=True, instance=shared)
+        )
+        inc_digest = result_digest(
+            run_case(case, True, record_events=True, instance=shared)
+        )
+        rows.append({
+            "name": case.name,
+            "workload": case.workload,
+            "params": dict(case.params),
+            "n": case.n,
+            "largest": case.largest,
+            "reference_seconds": round(ref_s, 6),
+            "incremental_seconds": round(inc_s, 6),
+            "speedup": round(ref_s / inc_s, 3),
+            "digest": inc_digest,
+            "digests_match": ref_digest == inc_digest,
+        })
+    flagged = next((r for r in rows if r["largest"]), None)
+    gate_row = flagged or rows[-1]
+    payload = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": rows,
+        "largest_case": {
+            "name": gate_row["name"],
+            "speedup": gate_row["speedup"],
+            "meets_1_5x": gate_row["speedup"] >= 1.5,
+            # The 1.5x acceptance gate is defined on the largest (full-scale)
+            # case; at --scale quick the number is informational.
+            "gated": flagged is not None,
+        },
+        "all_digests_match": all(r["digests_match"] for r in rows),
+    }
+    if check_hashseed:
+        payload["hashseed"] = check_hashseed_determinism()
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"perf ({payload['scale']}, best of {payload['repeats']}):",
+        f"  {'case':26s} {'reference':>10s} {'incremental':>12s} "
+        f"{'speedup':>8s}  digests",
+    ]
+    for row in payload["cases"]:
+        lines.append(
+            f"  {row['name']:26s} {row['reference_seconds'] * 1000:9.1f}ms "
+            f"{row['incremental_seconds'] * 1000:11.1f}ms "
+            f"{row['speedup']:7.2f}x  "
+            f"{'match' if row['digests_match'] else 'MISMATCH'}"
+        )
+    largest = payload["largest_case"]
+    if largest.get("gated"):
+        lines.append(
+            f"  largest case {largest['name']}: {largest['speedup']:.2f}x "
+            f"({'meets' if largest['meets_1_5x'] else 'BELOW'} the 1.5x gate)"
+        )
+    else:
+        lines.append(
+            f"  largest case {largest['name']}: {largest['speedup']:.2f}x "
+            f"(informational; the 1.5x gate applies at --scale full)"
+        )
+    if "hashseed" in payload:
+        hs = payload["hashseed"]
+        lines.append(
+            f"  hashseed determinism over PYTHONHASHSEED={hs['seeds']}: "
+            f"{'identical' if hs['identical'] else 'DIVERGENT'}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf", description="incremental-vs-reference engine benchmark"
+    )
+    parser.add_argument("--scale", default="quick", choices=["quick", "full"])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="output path (default: BENCH_perf.json at the cwd)",
+    )
+    parser.add_argument(
+        "--no-hashseed",
+        action="store_true",
+        help="skip the cross-process PYTHONHASHSEED determinism leg",
+    )
+    args = parser.parse_args(argv)
+    payload = run_perf(
+        scale=args.scale,
+        repeats=args.repeats,
+        check_hashseed=not args.no_hashseed,
+    )
+    print(render(payload))
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    ok = payload["all_digests_match"] and payload.get("hashseed", {}).get(
+        "identical", True
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

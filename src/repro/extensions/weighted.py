@@ -111,6 +111,10 @@ class WeightAwarePolicy(DeltaLRUEDFPolicy):
                  **kwargs):
         super().__init__(delta, **kwargs)
         self.weights = dict(weights)
+        # The weighted arrival hook below bypasses the base state hook, so
+        # it cannot feed the incremental rankings their per-round deltas;
+        # run on the (bit-identical) full re-sort path instead.
+        self.incremental = False
 
     def on_arrival_phase(self, rnd: int, request: Request) -> None:
         # Reimplements SectionThreeState.on_arrival_phase with weighted

@@ -153,7 +153,10 @@ class DirectLRUEDFPolicy(Policy):
                 self.edf_cached.discard(color)
                 overflow -= 1
 
-        chosen = list(self.lru_set) + list(self.edf_cached)
+        # Emit in the consistent color order: raw-set iteration here would
+        # leak PYTHONHASHSEED into the desired-multiset order (the sets are
+        # disjoint after the subtraction above).
+        chosen = sorted(self.lru_set | self.edf_cached, key=color_sort_key)
         if self.replication:
             desired: list[Color] = []
             for color in chosen:

@@ -9,6 +9,13 @@ after a counter-wrapping event, so a color with a deadline far in the future
 is not cached too aggressively.  Appendix A shows this policy is *not*
 resource competitive: it keeps idle recently-stamped colors cached and
 underutilizes the resources (experiment E1 reproduces the construction).
+
+The default engine maintains the LRU order incrementally: a color's
+timestamp only changes at its delay-bound boundaries (wraps are recorded
+there too), and those rounds are exactly the ones the state hooks report as
+touched, so re-keying the touched colors keeps the maintained order equal
+to a full re-sort.  ``incremental=False`` keeps the historical per-round
+re-sort; both paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -18,35 +25,67 @@ from typing import Iterable, Sequence
 from repro.core.job import Color, Job
 from repro.core.request import Request
 from repro.core.simulator import Policy
+from repro.policies.ranking import MaintainedRanking, lru_key_of
 from repro.policies.state import SectionThreeState
 
 
 class DeltaLRUPolicy(Policy):
     """DeltaLRU with ``n`` resources (``n`` even; replication always on)."""
 
-    def __init__(self, delta: int, track_history: bool = False):
+    def __init__(self, delta: int, track_history: bool = False, incremental: bool = True):
         self.state = SectionThreeState(delta, track_history=track_history)
+        self.incremental = incremental
+        self._ranking = MaintainedRanking()
+        self._dirty: set[Color] = set()
+        self._desired_cache: list[Color] | None = None
 
     def bind(self, sim) -> None:
         super().bind(sim)
         if sim.n % 2 != 0:
             raise ValueError(f"DeltaLRU requires an even number of resources, got {sim.n}")
         self.capacity = sim.n // 2
+        self._ranking.clear()
+        self._dirty = set(self.state.states)
+        self._desired_cache = None
 
     # -- phase hooks ------------------------------------------------------------
 
     def on_drop_phase(self, rnd: int, dropped: Sequence[Job]) -> None:
-        self.state.on_drop_phase(rnd, dropped, cached=self.sim.bank.is_configured)
+        self._dirty |= self.state.on_drop_phase(
+            rnd, dropped, cached=self.sim.bank.is_configured
+        )
 
     def on_arrival_phase(self, rnd: int, request: Request) -> None:
-        self.state.on_arrival_phase(rnd, request)
+        self._dirty |= self.state.on_arrival_phase(rnd, request)
 
     # -- reconfiguration ----------------------------------------------------------
 
     def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
-        chosen = self.state.lru_order(rnd)[: self.capacity]
+        if self.incremental:
+            if not self._dirty:
+                if self._desired_cache is not None:
+                    # Timestamps only move at delay-bound boundaries, which
+                    # always land in the dirty set — no delta, same list.
+                    return self._desired_cache
+            else:
+                states = self.state.states
+                updates: list[tuple[Color, tuple]] = []
+                removals: list[Color] = []
+                for color in self._dirty:
+                    st = states[color]
+                    if st.eligible:
+                        updates.append((color, lru_key_of(st, rnd)))
+                    else:
+                        removals.append(color)
+                self._ranking.apply(updates, removals)
+                self._dirty = set()
+            chosen = self._ranking.top(self.capacity)
+        else:
+            chosen = self.state.lru_order(rnd)[: self.capacity]
         # Replication invariant: each cached color occupies two locations.
         desired: list[Color] = []
         for color in chosen:
             desired.extend((color, color))
+        if self.incremental:
+            self._desired_cache = desired
         return desired

@@ -45,6 +45,11 @@ class ColorState:
 
     color: Color
     delay_bound: int
+    #: creation order among all states (first-seen order of colors); used to
+    #: keep multi-wrap rounds in the historical event order.
+    index: int = 0
+    #: memoized ``color_sort_key(color)`` — rank keys embed it every round.
+    csk: tuple = ()
     cnt: int = 0
     dd: int = 0
     eligible: bool = False
@@ -106,6 +111,10 @@ class SectionThreeState:
         self.track_history = track_history
         self.gate_eligibility = gate_eligibility
         self.states: dict[Color, ColorState] = {}
+        #: states bucketed by delay bound: the per-round boundary rules only
+        #: apply to colors whose bound divides the round, so iterating the
+        #: dividing buckets replaces the historical scan over every state.
+        self._by_bound: dict[int, list[ColorState]] = {}
         #: (round, color) of every counter wrapping event, in order — only
         #: when history tracking is on (analysis / super-epochs).
         self.wrap_events: list[tuple[int, Color]] = []
@@ -115,11 +124,17 @@ class SectionThreeState:
         if st is None:
             if delay_bound is None:
                 raise KeyError(f"unknown color {color!r} (no delay bound supplied)")
-            st = ColorState(color=color, delay_bound=delay_bound)
+            st = ColorState(
+                color=color,
+                delay_bound=delay_bound,
+                index=len(self.states),
+                csk=color_sort_key(color),
+            )
             if self.track_history:
                 st.wrap_history = []
                 st.epoch_ends = []
             self.states[color] = st
+            self._by_bound.setdefault(delay_bound, []).append(st)
         return st
 
     def known_colors(self) -> Iterable[Color]:
@@ -130,11 +145,13 @@ class SectionThreeState:
 
     # -- phase hooks ---------------------------------------------------------
 
-    def on_drop_phase(self, rnd: int, dropped: Sequence[Job], cached) -> None:
+    def on_drop_phase(self, rnd: int, dropped: Sequence[Job], cached) -> set[Color]:
         """Apply the drop-phase rule.
 
         ``cached(color) -> bool`` reports cache membership at drop time.
-        Also credits ineligible drops (for the Lemma 3.4 metric).
+        Also credits ineligible drops (for the Lemma 3.4 metric).  Returns
+        the set of colors that turned *ineligible* this phase, so incremental
+        policies can retire them from their maintained rankings.
         """
         for job in dropped:
             st = self.states.get(job.color)
@@ -142,42 +159,69 @@ class SectionThreeState:
                 target = self.state(job.color, job.delay_bound)
                 target.ineligible_drops += 1
                 target.ineligible_drop_uids.add(job.uid)
+        became_ineligible: set[Color] = set()
         if not self.gate_eligibility:
-            return
-        for st in self.states.values():
-            if rnd % st.delay_bound != 0:
+            return became_ineligible
+        for bound, bucket in self._by_bound.items():
+            if rnd % bound != 0:
                 continue
-            if st.eligible and not cached(st.color):
-                st.eligible = False
-                st.cnt = 0
-                st.epochs_completed += 1
-                if st.epoch_ends is not None:
-                    st.epoch_ends.append(rnd)
+            for st in bucket:
+                if st.eligible and not cached(st.color):
+                    st.eligible = False
+                    st.cnt = 0
+                    st.epochs_completed += 1
+                    became_ineligible.add(st.color)
+                    if st.epoch_ends is not None:
+                        st.epoch_ends.append(rnd)
+        return became_ineligible
 
-    def on_arrival_phase(self, rnd: int, request: Request) -> None:
-        """Apply the arrival-phase rule (deadline, counter, wrap, eligibility)."""
+    def on_arrival_phase(self, rnd: int, request: Request) -> set[Color]:
+        """Apply the arrival-phase rule (deadline, counter, wrap, eligibility).
+
+        Returns the *touched* colors: every color whose ranking inputs may
+        have changed this phase — a delay-bound boundary was crossed (``dd``
+        update, possible wrap/timestamp change, possible eligibility gain) or
+        the color was first seen.  Idleness changes are not included; the
+        pending store's idle-flip feed reports those.
+        """
         by_color = request.by_color()
+        touched: set[Color] = set()
         # New colors become known on first arrival.
         for color, jobs in by_color.items():
-            st = self.state(color, jobs[0].delay_bound)
+            st = self.states.get(color)
+            if st is None:
+                st = self.state(color, jobs[0].delay_bound)
+                touched.add(color)
             if not self.gate_eligibility:
+                if not st.eligible:
+                    touched.add(color)
                 st.eligible = True
                 st.seen = True
-        for color, st in self.states.items():
-            if rnd % st.delay_bound != 0:
+        wrapped: list[ColorState] = []
+        for bound, bucket in self._by_bound.items():
+            if rnd % bound != 0:
                 continue
-            st.dd = rnd + st.delay_bound
-            arrivals = by_color.get(color, ())
-            if arrivals:
-                st.seen = True
-                st.cnt += len(arrivals)
-            if st.cnt >= self.delta:
-                st.cnt %= self.delta
-                st.record_wrap(rnd)
-                if self.track_history:
-                    self.wrap_events.append((rnd, color))
-                if not st.eligible:
-                    st.eligible = True
+            for st in bucket:
+                st.dd = rnd + bound
+                touched.add(st.color)
+                arrivals = by_color.get(st.color, ())
+                if arrivals:
+                    st.seen = True
+                    st.cnt += len(arrivals)
+                if st.cnt >= self.delta:
+                    st.cnt %= self.delta
+                    st.record_wrap(rnd)
+                    if self.track_history:
+                        wrapped.append(st)
+                    if not st.eligible:
+                        st.eligible = True
+        if wrapped:
+            # The bucketed iteration visits colors grouped by bound; the
+            # wrap-event log historically recorded same-round wraps in color
+            # creation order, so restore it before appending.
+            wrapped.sort(key=lambda st: st.index)
+            self.wrap_events.extend((rnd, st.color) for st in wrapped)
+        return touched
 
     # -- metrics ---------------------------------------------------------------
 

@@ -75,6 +75,43 @@ class TestPendingPool:
         pool.remove(job)
         assert pool.drop_expired(2) == []
 
+    def test_remove_nonmember_raises(self):
+        # Regression: remove() used to decrement the live count without
+        # checking membership, silently corrupting idleness bookkeeping.
+        pool = PendingPool(0)
+        member = J(0, 0, 2)
+        stranger = J(0, 0, 2)
+        pool.add(member)
+        with pytest.raises(KeyError):
+            pool.remove(stranger)
+        assert len(pool) == 1
+        assert not pool.idle
+
+    def test_remove_twice_raises(self):
+        pool = PendingPool(0)
+        job = J(0, 0, 2)
+        pool.add(job)
+        pool.remove(job)
+        with pytest.raises(KeyError):
+            pool.remove(job)
+        assert len(pool) == 0
+        assert pool.idle
+
+    def test_remove_from_empty_pool_raises(self):
+        pool = PendingPool(0)
+        with pytest.raises(KeyError):
+            pool.remove(J(0, 0, 2))
+        assert pool.idle
+
+    def test_contains_tracks_membership(self):
+        pool = PendingPool(0)
+        job = J(0, 0, 2)
+        assert job not in pool
+        pool.add(job)
+        assert job in pool
+        pool.pop()
+        assert job not in pool
+
     def test_pending_jobs_snapshot_sorted(self):
         pool = PendingPool(0)
         jobs = [J(0, 4, 4), J(0, 0, 2), J(0, 2, 4)]

@@ -50,6 +50,28 @@ class TestConstruction:
         assert policy.lru_capacity == 2
         assert policy.edf_top == 2
 
+    def test_capacity_split_exact_decimal_fraction(self):
+        # Regression: the split went through binary floating point, so
+        # lru_fraction=0.3 at 10 distinct slots gave int(10 * 0.3) == 2
+        # instead of the intended 3.  Floats are now read via their decimal
+        # literal (0.3 -> 3/10) before the floor.
+        inst = batched([(0, 0, 2, 1)])
+        policy = DeltaLRUEDFPolicy(1, lru_fraction=0.3, replication=False)
+        simulate(inst, policy, n=10)
+        assert policy.distinct_capacity == 10
+        assert policy.lru_capacity == 3
+        assert policy.edf_top == 7
+
+    def test_capacity_split_accepts_fraction_and_string(self):
+        from fractions import Fraction
+
+        inst = batched([(0, 0, 2, 1)])
+        for share in (Fraction(7, 10), "7/10", 0.7):
+            policy = DeltaLRUEDFPolicy(1, lru_fraction=share, replication=False)
+            simulate(inst, policy, n=10)
+            assert policy.lru_capacity == 7, share
+            assert policy.edf_top == 3, share
+
 
 class TestCacheStructure:
     def test_each_color_in_two_locations(self):

@@ -1,0 +1,145 @@
+"""Property tests: incremental hot-path state vs brute-force recomputation.
+
+The incremental engine relies on three maintained structures being exact:
+
+* ``ResourceBank`` keeps a persistent color -> sorted-locations index and a
+  sorted black list, and diffs desired multisets against that index.  The
+  original full-scan diff survives as ``incremental=False``; the two must
+  produce identical change lists on identical inputs, and the index must
+  always equal a brute-force recomputation from the assignment.
+* ``PendingStore`` keeps a cached nonidle-color set plus an idle-flip feed
+  instead of rescanning pools; the set must always equal the brute-force
+  "which pools are non-empty" answer, and the feed must cover every color
+  whose idleness actually changed.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import BLACK, Job
+from repro.core.pending import PendingStore
+from repro.core.resources import ResourceBank
+
+COLORS = list(range(5))
+
+
+@st.composite
+def desired_multisets(draw, n):
+    """A sequence of desired color multisets, each fitting in ``n`` slots."""
+    rounds = draw(st.integers(1, 12))
+    out = []
+    for _ in range(rounds):
+        size = draw(st.integers(0, n))
+        out.append(
+            draw(
+                st.lists(
+                    st.sampled_from(COLORS), min_size=size, max_size=size
+                )
+            )
+        )
+    return out
+
+
+def _brute_force_index(bank):
+    """Recompute the location index and black list from the assignment."""
+    locs: dict = {}
+    black = []
+    for loc, color in enumerate(bank.assignment()):
+        if color is BLACK:
+            black.append(loc)
+        else:
+            locs.setdefault(color, []).append(loc)
+    return locs, black
+
+
+@given(n=st.integers(1, 9), rounds=st.data())
+@settings(max_examples=200, deadline=None)
+def test_bank_incremental_diff_matches_scan(n, rounds):
+    multisets = rounds.draw(desired_multisets(n))
+    inc = ResourceBank(n, incremental=True)
+    ref = ResourceBank(n, incremental=False)
+    for rnd, desired in enumerate(multisets):
+        # Identical change lists in identical order — this is the bit-identity
+        # contract the simulator's event log and ledger depend on.
+        assert inc.reconfigure_to(list(desired), rnd) == ref.reconfigure_to(
+            list(desired), rnd
+        )
+        assert inc.assignment() == ref.assignment()
+        locs, black = _brute_force_index(inc)
+        assert inc._locs == locs
+        assert inc._black == black
+        assert inc.configured_colors() == Counter(
+            c for c in inc.assignment() if c is not BLACK
+        )
+
+
+@given(n=st.integers(1, 9), rounds=st.data())
+@settings(max_examples=100, deadline=None)
+def test_bank_resubmitting_same_list_is_noop(n, rounds):
+    multisets = rounds.draw(desired_multisets(n))
+    bank = ResourceBank(n, incremental=True)
+    for rnd, desired in enumerate(multisets):
+        bank.reconfigure_to(desired, rnd)
+        before = bank.assignment()
+        # The no-op fast path must fire for both the identical object and an
+        # equal copy, and must never mutate the bank.
+        assert bank.reconfigure_to(desired, rnd) == []
+        assert bank.reconfigure_to(list(desired), rnd) == []
+        assert bank.assignment() == before
+
+
+@st.composite
+def store_operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(0, 50))):
+        op = draw(st.sampled_from(["add", "add", "execute", "drop"]))
+        color = draw(st.sampled_from(COLORS))
+        if op == "add":
+            arrival = draw(st.integers(0, 20))
+            bound = draw(st.sampled_from([1, 2, 4, 8]))
+            ops.append(("add", color, (arrival, bound)))
+        elif op == "execute":
+            ops.append(("execute", color, None))
+        else:
+            ops.append(("drop", None, draw(st.integers(0, 30))))
+    return ops
+
+
+def _brute_force_nonidle(store):
+    return {
+        color
+        for color, pool in store._pools.items()
+        if pool.pending_jobs()
+    }
+
+
+@given(ops=store_operations())
+@settings(max_examples=200, deadline=None)
+def test_store_nonidle_set_matches_brute_force(ops):
+    store = PendingStore()
+    store.take_idle_flips()
+    prev_nonidle = set()
+    for op, color, arg in ops:
+        if op == "add":
+            arrival, bound = arg
+            store.add(Job(color=color, arrival=arrival, delay_bound=bound))
+        elif op == "execute":
+            store.execute_one(color)
+        else:
+            store.drop_expired(arg)
+
+        nonidle = _brute_force_nonidle(store)
+        assert store.nonidle_set() == nonidle
+        assert set(store.nonidle_colors()) == nonidle
+        for c in COLORS:
+            assert store.idle(c) == (c not in nonidle)
+
+        flips = store.take_idle_flips()
+        # Every real idleness transition must be in the feed (transient
+        # flips that net out within one op may also appear — that is fine,
+        # consumers re-read the authoritative idle() state).
+        assert (nonidle ^ prev_nonidle) <= flips
+        prev_nonidle = nonidle
+    assert store.take_idle_flips() == set()
