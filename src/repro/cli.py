@@ -94,8 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
     p_all.add_argument("--stats", action="store_true",
-                       help="print per-task timing/cache metrics and write "
-                       "them to benchmarks/output/runner_stats.json")
+                       help="collect per-task timing/cache metrics plus "
+                       "per-worker telemetry, print the table, and write the "
+                       "JSON payload to --stats-out")
+    p_all.add_argument("--stats-out", default="benchmarks/output/local/runner_stats.json",
+                       help="explicit destination for the --stats JSON payload "
+                       "(parent directories are created; the default lives "
+                       "under the git-ignored benchmarks/output/local/)")
 
     p_sweep = sub.add_parser(
         "sweep", help="grid-sweep the pipeline solver over delta x n x seed"
@@ -129,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--timeline", action="store_true",
                          help="print an ASCII timeline of the schedule")
+    p_solve.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
+                         help="record a structured run trace (JSONL, schema "
+                         "repro-trace-v1) plus metrics to this path; never "
+                         "changes the solution")
 
     p_trace = sub.add_parser(
         "trace", help="generate a workload and save it as a reusable trace file"
@@ -138,6 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--horizon", type=int, default=None)
     p_trace.add_argument("--out", required=True, help="output trace path")
+    p_trace.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
+                         help="additionally run the recommended solver on the "
+                         "saved workload with telemetry on and write the "
+                         "structured round-by-round run trace (JSONL) here")
 
     p_verify = sub.add_parser(
         "verify",
@@ -157,6 +170,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--out", default="BENCH_perf.json")
     p_perf.add_argument("--no-hashseed", action="store_true",
                         help="skip the cross-process PYTHONHASHSEED leg")
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run one workload/policy with telemetry on and print the "
+        "metrics (human table or Prometheus text exposition)",
+    )
+    p_metrics.add_argument("--workload", default="poisson", choices=sorted(WORKLOADS))
+    p_metrics.add_argument("--trace", default=None,
+                           help="load the instance from a trace file instead "
+                           "of generating")
+    p_metrics.add_argument("--n", type=int, default=16)
+    p_metrics.add_argument("--delta", type=int, default=4)
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--horizon", type=int, default=None)
+    p_metrics.add_argument(
+        "--policy",
+        default="dlru-edf",
+        choices=["pipeline"] + sorted(POLICIES),
+        help="policy (or the Theorem-3 pipeline) to instrument",
+    )
+    p_metrics.add_argument("--format", default="table", choices=["table", "prom"],
+                           help="'table' = human-readable; 'prom' = Prometheus "
+                           "text exposition format")
+    p_metrics.add_argument("--input", default=None, metavar="SNAPSHOT_JSON",
+                           help="render a previously saved snapshot (a raw "
+                           "metrics snapshot or a runner_stats.json with a "
+                           "'telemetry' section) instead of running anything")
+    p_metrics.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
+                           help="also write the structured run trace (JSONL) "
+                           "to this path")
     return parser
 
 
@@ -226,6 +269,46 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_metrics_command(args: argparse.Namespace) -> int:
+    from repro import telemetry as tele
+
+    if args.input is not None:
+        payload = json.loads(Path(args.input).read_text())
+        snapshot = payload.get("telemetry", payload)
+        if not isinstance(snapshot, dict) or "counters" not in snapshot:
+            raise SystemExit(
+                f"{args.input} holds neither a metrics snapshot nor a "
+                "runner-stats payload with a 'telemetry' section"
+            )
+        title = f"telemetry — {args.input}"
+    else:
+        if args.trace is not None:
+            from repro.workloads.trace import load_instance
+
+            instance = load_instance(args.trace)
+        else:
+            instance = _make_instance(args)
+        with tele.recording(
+            tele.TelemetryRecorder(trace=args.telemetry)
+        ) as rec:
+            if args.policy == "pipeline":
+                solve_online(instance, n=args.n, record_events=False)
+            else:
+                policy = POLICIES[args.policy](instance.delta)
+                simulate(instance, policy, n=args.n, record_events=False)
+        snapshot = rec.snapshot()
+        title = (
+            f"telemetry — {instance.name}, policy={args.policy}, n={args.n}"
+        )
+    if args.format == "prom":
+        sys.stdout.write(tele.render_prometheus(snapshot))
+    else:
+        print(tele.render_table(snapshot, title=title).render())
+        if args.input is None and args.telemetry:
+            print(f"\nwrote telemetry trace to {args.telemetry}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _main(argv)
@@ -266,6 +349,7 @@ def _main(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             root_seed=args.seed,
             use_cache=not args.no_cache,
+            collect_telemetry=args.stats,
         )
         for result in report.results.values():
             print(result.render())
@@ -275,13 +359,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         if args.stats:
             print()
             print(report.stats_table().render())
-            out_dir = Path("benchmarks/output")
-            if out_dir.is_dir():
-                stats_path = out_dir / "runner_stats.json"
-                stats_path.write_text(
-                    json.dumps(report.stats_payload(), indent=2) + "\n"
-                )
-                print(f"\nwrote {stats_path}")
+            stats_path = report.write_stats(args.stats_out)
+            print(f"\nwrote {stats_path}")
         return 0 if report.failures == 0 else 1
 
     if args.command == "sweep":
@@ -294,6 +373,7 @@ def _main(argv: Sequence[str] | None = None) -> int:
             scale=args.scale,
             repeats=args.repeats,
             check_hashseed=not args.no_hashseed,
+            baseline_path=args.out,
         )
         print(render(payload))
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -304,21 +384,33 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return 0 if ok else 1
 
     if args.command == "solve":
+        from contextlib import nullcontext
+
+        from repro import telemetry as tele
+
         if args.trace is not None:
             from repro.workloads.trace import load_instance
 
             instance = load_instance(args.trace)
         else:
             instance = _make_instance(args)
-        if args.policy == "pipeline":
-            result = solve_online(instance, n=args.n, record_events=False)
-            summary = result.ledger.summary()
-            schedule = result.schedule
-        else:
-            policy = POLICIES[args.policy](instance.delta)
-            run = simulate(instance, policy, n=args.n, record_events=False)
-            summary = collect_metrics(run).as_dict()
-            schedule = run.schedule
+        ctx = (
+            tele.recording(tele.TelemetryRecorder(trace=args.telemetry))
+            if args.telemetry
+            else nullcontext()
+        )
+        with ctx:
+            if args.policy == "pipeline":
+                result = solve_online(instance, n=args.n, record_events=False)
+                summary = result.ledger.summary()
+                schedule = result.schedule
+            else:
+                policy = POLICIES[args.policy](instance.delta)
+                run = simulate(instance, policy, n=args.n, record_events=False)
+                summary = collect_metrics(run).as_dict()
+                schedule = run.schedule
+        if args.telemetry:
+            print(f"wrote telemetry trace to {args.telemetry}")
         print(f"instance: {instance.name}  {instance.notation()}  "
               f"jobs={instance.sequence.num_jobs} horizon={instance.horizon}")
         for key, value in summary.items():
@@ -337,6 +429,20 @@ def _main(argv: Sequence[str] | None = None) -> int:
         save_instance(instance, args.out)
         print(f"wrote {instance.sequence.num_jobs} jobs "
               f"({instance.notation()}) to {args.out}")
+        if args.telemetry:
+            from repro import telemetry as tele
+            from repro.core.notation import recommended_solver
+
+            solver = recommended_solver(instance)
+            with tele.recording(
+                tele.TelemetryRecorder(trace=args.telemetry)
+            ) as rec:
+                result = solver(instance, n=16)
+            rounds = rec.snapshot()["counters"].get(
+                "repro_rounds_total", {}
+            ).get("", 0)
+            print(f"wrote telemetry trace ({rounds} rounds, "
+                  f"total_cost={result.ledger.total_cost}) to {args.telemetry}")
         return 0
 
     if args.command == "verify":
@@ -354,6 +460,9 @@ def _main(argv: Sequence[str] | None = None) -> int:
         print(report.render())
         print(f"cost: {result.ledger.summary()}")
         return 0 if report.ok else 1
+
+    if args.command == "metrics":
+        return _run_metrics_command(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -11,6 +11,12 @@ Example output::
       arrive:  3 jobs (color 0 x3, bound 4)
       config:  loc0: 1 -> 0, loc1: 1 -> 0
       execute: loc0 -> job 17 (color 0), loc1 -> job 18 (color 0)
+      ledger:  drops=2 (cost 2), reconfigs=2 (cost 8)
+
+The ``ledger`` line draws its numbers from
+:func:`repro.telemetry.trace.ledger_round_delta` — the same helper the
+structured round-trace records use — so narration and traces can never
+disagree about per-round costs.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.events import (
     ReconfigEvent,
 )
 from repro.core.simulator import SimulationResult
+from repro.telemetry.trace import ledger_round_delta
 
 
 def narrate(
@@ -49,6 +56,14 @@ def narrate(
             continue
         lines.append(f"== round {rnd} ==")
         lines.extend(_narrate_round(events))
+        delta = ledger_round_delta(result.ledger, rnd)
+        if delta["drops"] or delta["reconfigs"]:
+            lines.append(
+                f"  ledger:  drops={delta['drops']} "
+                f"(cost {delta['drop_cost']}), "
+                f"reconfigs={delta['reconfigs']} "
+                f"(cost {delta['reconfig_cost']})"
+            )
     if not lines:
         return "(no activity in the requested window)"
     return "\n".join(lines)

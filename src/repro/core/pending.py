@@ -22,6 +22,7 @@ import heapq
 from typing import Callable, Iterator
 
 from repro.core.job import Color, Job
+from repro.telemetry.recorder import Recorder, get_recorder
 
 #: Signature of the idle-transition listener a pool reports to.
 IdleListener = Callable[[Color, bool], None]
@@ -143,10 +144,11 @@ class PendingStore:
     :meth:`take_idle_flips` feed never rescan the pools.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Recorder | None = None) -> None:
         self._pools: dict[Color, PendingPool] = {}
         self._nonidle: set[Color] = set()
         self._idle_flips: set[Color] = set()
+        self.telemetry = telemetry if telemetry is not None else get_recorder()
 
     def _on_idle_change(self, color: Color, now_idle: bool) -> None:
         if now_idle:
@@ -185,6 +187,8 @@ class PendingStore:
         flips = self._idle_flips
         if flips:
             self._idle_flips = set()
+            if self.telemetry.enabled:
+                self.telemetry.observe("repro_idle_flips_size", len(flips))
         return flips
 
     def idle(self, color: Color) -> bool:

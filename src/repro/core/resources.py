@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.core.job import BLACK, Color
 from repro.core.ledger import CostLedger
+from repro.telemetry.recorder import Recorder, get_recorder
 
 
 class ResourceBank:
@@ -38,13 +39,22 @@ class ResourceBank:
     :meth:`reconfigure_to`: the maintained-index diff (default) or the
     original full-scan reference.  Both produce identical change lists;
     the flag exists so the perf harness can time old-vs-new on live runs.
+
+    ``telemetry`` (default: the process-global recorder) observes diff
+    sizes and no-op fast-path hits; it never influences the plan.
     """
 
-    def __init__(self, n: int, incremental: bool = True):
+    def __init__(
+        self,
+        n: int,
+        incremental: bool = True,
+        telemetry: Recorder | None = None,
+    ):
         if n < 1:
             raise ValueError(f"need at least one resource, got {n}")
         self._colors: list[Color] = [BLACK] * n
         self.incremental = incremental
+        self.telemetry = telemetry if telemetry is not None else get_recorder()
         #: sorted location lists per configured (non-black) color.
         self._locs: dict[Color, list[int]] = {}
         #: sorted list of black (unconfigured) locations.
@@ -160,6 +170,8 @@ class ResourceBank:
                 # The bank still holds every copy it held when this exact
                 # multiset was last satisfied, so the diff below would find
                 # no deficits.
+                if self.telemetry.enabled:
+                    self.telemetry.count("repro_bank_noop_total")
                 return []
         want = Counter(desired)
         want.pop(BLACK, None)
@@ -182,6 +194,8 @@ class ResourceBank:
         if self.incremental:
             self._satisfied = desired
             self._satisfied_at = self._mutations
+        if changes and self.telemetry.enabled:
+            self.telemetry.observe("repro_bank_diff_size", len(changes))
         return changes
 
     def _diff_incremental(self, want: Counter) -> list[tuple[int, Color]]:

@@ -17,6 +17,7 @@ how the paper defines double-speed algorithms such as DS-Seq-EDF.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -34,6 +35,8 @@ from repro.core.pending import PendingStore
 from repro.core.request import Instance, Request, RequestSequence
 from repro.core.resources import ResourceBank
 from repro.core.schedule import Schedule
+from repro.telemetry import TRACE_SCHEMA, ledger_round_delta
+from repro.telemetry.recorder import Recorder, get_recorder
 
 
 class Policy(ABC):
@@ -119,6 +122,11 @@ class Simulator:
         historical full-scan reference engine.  Both engines are
         bit-identical (same ledger, events, and schedule); the perf
         harness times one against the other.
+    telemetry:
+        A :class:`~repro.telemetry.Recorder`.  Defaults to the
+        process-global recorder (a no-op ``NullRecorder`` unless telemetry
+        was switched on).  Recorders only *observe* the run — enabling
+        telemetry never changes the ledger, schedule, or event log.
     """
 
     def __init__(
@@ -129,6 +137,7 @@ class Simulator:
         speed: int = 1,
         record_events: bool = True,
         incremental: bool = True,
+        telemetry: Recorder | None = None,
     ):
         if speed < 1:
             raise ValueError(f"speed must be >= 1, got {speed}")
@@ -139,8 +148,11 @@ class Simulator:
         self.n = n
         self.speed = speed
         self.incremental = incremental
-        self.bank = ResourceBank(n, incremental=incremental)
-        self.pending = PendingStore()
+        self.telemetry = telemetry if telemetry is not None else get_recorder()
+        self.bank = ResourceBank(
+            n, incremental=incremental, telemetry=self.telemetry
+        )
+        self.pending = PendingStore(telemetry=self.telemetry)
         self.ledger = CostLedger(self.delta)
         self.events = EventLog(enabled=record_events)
         self.schedule = Schedule(n=n, speed=speed)
@@ -167,8 +179,23 @@ class Simulator:
     def run(self, horizon: int | None = None) -> SimulationResult:
         """Simulate rounds ``0 .. horizon-1`` (default: the sequence horizon)."""
         limit = self.sequence.horizon if horizon is None else horizon
+        telem = self.telemetry
+        if telem.tracing:
+            telem.emit({
+                "kind": "header",
+                "schema": TRACE_SCHEMA,
+                "instance": self.instance.name,
+                "n": self.n,
+                "speed": self.speed,
+                "delta": self.delta,
+                "engine": "incremental" if self.incremental else "reference",
+                "policy": type(self.policy).__name__,
+                "horizon": limit,
+            })
         for rnd in range(limit):
             self.step(rnd)
+        if telem.tracing:
+            telem.emit({"kind": "summary", **self.ledger.summary()})
         return SimulationResult(
             instance=self.instance,
             n=self.n,
@@ -186,6 +213,10 @@ class Simulator:
         if rnd != self.round + 1:
             raise ValueError(f"rounds must be stepped in order; expected {self.round + 1}, got {rnd}")
         self.round = rnd
+        telem = self.telemetry
+        live = telem.enabled
+        tick = time.perf_counter if live else None
+        t0 = tick() if live else 0.0
 
         # Phase 1: drop.
         dropped = self.pending.drop_expired(rnd)
@@ -195,6 +226,7 @@ class Simulator:
             if self._record:
                 self.events.append(DropEvent(rnd, 0, job))
         self.policy.on_drop_phase(rnd, dropped)
+        t1 = tick() if live else 0.0
 
         # Phase 2: arrival.
         request = self.sequence.request(rnd)
@@ -203,8 +235,12 @@ class Simulator:
             if self._record:
                 self.events.append(ArrivalEvent(rnd, 0, job))
         self.policy.on_arrival_phase(rnd, request)
+        t2 = tick() if live else 0.0
 
         # Phases 3+4, repeated per mini-round.
+        num_reconfigs = num_execs = 0
+        reconfig_s = execute_s = 0.0
+        prev = t2
         for mini in range(self.speed):
             desired = self.policy.desired_configuration(rnd, mini)
             changes = self.bank.reconfigure_to(desired, rnd, self.ledger)
@@ -212,6 +248,10 @@ class Simulator:
                 self.schedule.add_reconfig(rnd, loc, new, mini)
                 if self._record:
                     self.events.append(ReconfigEvent(rnd, mini, loc, old, new))
+            if live:
+                num_reconfigs += len(changes)
+                t3 = tick()
+                reconfig_s += t3 - prev
 
             executed: list[tuple[int, Job]] = []
             if self.incremental:
@@ -235,6 +275,39 @@ class Simulator:
                     if self._record:
                         self.events.append(ExecutionEvent(rnd, mini, loc, job))
             self.policy.on_execution_phase(rnd, mini, executed)
+            if live:
+                num_execs += len(executed)
+                prev = tick()
+                execute_s += prev - t3
+
+        if live:
+            pending_size = self.pending.pending_count()
+            telem.count("repro_rounds_total")
+            telem.count("repro_mini_rounds_total", self.speed)
+            if dropped:
+                telem.count("repro_drops_total", len(dropped))
+            if len(request):
+                telem.count("repro_arrivals_total", len(request))
+            if num_execs:
+                telem.count("repro_executions_total", num_execs)
+            if num_reconfigs:
+                telem.count("repro_reconfigs_total", num_reconfigs)
+            telem.observe("repro_phase_seconds", t1 - t0, phase="drop")
+            telem.observe("repro_phase_seconds", t2 - t1, phase="arrival")
+            telem.observe("repro_phase_seconds", reconfig_s, phase="reconfig")
+            telem.observe("repro_phase_seconds", execute_s, phase="execute")
+            telem.gauge("repro_pending_jobs", pending_size)
+            if telem.tracing:
+                telem.emit({
+                    "kind": "round",
+                    "round": rnd,
+                    "mini_rounds": self.speed,
+                    "arrivals": len(request),
+                    "executions": num_execs,
+                    "recolored": num_reconfigs,
+                    "pending": pending_size,
+                    "ledger": ledger_round_delta(self.ledger, rnd),
+                })
 
 
 def simulate(
@@ -244,6 +317,9 @@ def simulate(
     speed: int = 1,
     record_events: bool = True,
     incremental: bool = True,
+    telemetry: Recorder | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
-    return Simulator(instance, policy, n, speed, record_events, incremental).run()
+    return Simulator(
+        instance, policy, n, speed, record_events, incremental, telemetry
+    ).run()

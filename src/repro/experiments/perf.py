@@ -42,7 +42,7 @@ from repro.policies.dlru_edf import DeltaLRUEDFPolicy
 from repro.workloads.generators import rate_limited_workload
 from repro.workloads.scenarios import datacenter_workload
 
-SCHEMA = "bench-perf-v1"
+SCHEMA = "bench-perf-v2"
 
 #: PYTHONHASHSEED values for the cross-process determinism leg (≥3 distinct
 #: seeds, none of them 0, so hash-order bugs cannot hide behind a fixed seed).
@@ -226,7 +226,17 @@ def _string_relabel(instance: Instance) -> Instance:
 
 
 def hashseed_digests() -> dict[str, str]:
-    """Digests of one string-colored run on each engine (current process)."""
+    """Digests of one string-colored run on each engine (current process).
+
+    A third leg re-runs the incremental engine with a live telemetry
+    recorder (metrics plus a discarded JSONL trace): the
+    never-affects-digests contract must hold under every hash seed, so the
+    flat-digest check covers telemetry-on alongside both plain engines.
+    """
+    import io
+
+    from repro.telemetry import TelemetryRecorder, TraceWriter
+
     instance = _string_relabel(
         rate_limited_workload(num_colors=16, horizon=256, delta=4, seed=0)
     )
@@ -237,6 +247,14 @@ def hashseed_digests() -> dict[str, str]:
             instance, policy, n=16, incremental=incremental
         ).run()
         out[label] = result_digest(result)
+    recorder = TelemetryRecorder(trace=TraceWriter(io.StringIO()))
+    result = Simulator(
+        instance,
+        DeltaLRUEDFPolicy(instance.delta),
+        n=16,
+        telemetry=recorder,
+    ).run()
+    out["incremental_telemetry"] = result_digest(result)
     return out
 
 
@@ -276,6 +294,98 @@ def check_hashseed_determinism(
     }
 
 
+# -- the telemetry leg ----------------------------------------------------------
+
+
+def telemetry_section(
+    repeats: int,
+    baseline_path: str | os.PathLike | None = None,
+    case: PerfCase | None = None,
+) -> dict:
+    """Measure telemetry cost and verify the never-affects-digests contract.
+
+    Times the incremental engine with telemetry disabled (the
+    ``NullRecorder`` default — i.e. exactly what the main timing rows
+    measure) against a live metrics recorder, interleaved like
+    :func:`time_case`.  If ``baseline_path`` names a readable prior
+    ``BENCH_perf.json``, the disabled-path time is also compared against
+    that file's recorded ``incremental_seconds`` for the same case — the
+    "PR 2 baseline" gate: the off switch must stay within 2%.  Wall-clock
+    comparisons across files assume the same machine; the in-run
+    ``enabled_overhead_pct`` is the noise-robust number.
+    """
+    from repro.telemetry import TelemetryRecorder
+    from repro.telemetry.recorder import NullRecorder
+
+    case = case if case is not None else CASES[0]
+    best = {"off": float("inf"), "on": float("inf")}
+    for _ in range(repeats):
+        for mode in ("off", "on"):
+            instance = build_instance(case)
+            policy = DeltaLRUEDFPolicy(instance.delta)
+            recorder = TelemetryRecorder() if mode == "on" else NullRecorder()
+            sim = Simulator(
+                instance,
+                policy,
+                n=case.n,
+                record_events=False,
+                telemetry=recorder,
+            )
+            gc.collect()
+            start = time.perf_counter()
+            sim.run()
+            best[mode] = min(best[mode], time.perf_counter() - start)
+
+    # The digest contract, on a shared instance (uid streams, see run_case).
+    shared = build_instance(case)
+    plain = run_case(case, True, record_events=True, instance=shared)
+    recorder = TelemetryRecorder()
+    instrumented = Simulator(
+        shared,
+        DeltaLRUEDFPolicy(shared.delta),
+        n=case.n,
+        record_events=True,
+        telemetry=recorder,
+    ).run()
+    digests_match = result_digest(plain) == result_digest(instrumented)
+
+    prior_seconds = None
+    if baseline_path is not None:
+        try:
+            prior = json.loads(Path(baseline_path).read_text())
+            prior_seconds = next(
+                (
+                    row["incremental_seconds"]
+                    for row in prior.get("cases", [])
+                    if row.get("name") == case.name
+                ),
+                None,
+            )
+        except (OSError, ValueError):
+            prior_seconds = None
+
+    disabled_vs_prior_pct = (
+        round((best["off"] / prior_seconds - 1.0) * 100, 2)
+        if prior_seconds
+        else None
+    )
+    return {
+        "case": case.name,
+        "disabled_seconds": round(best["off"], 6),
+        "enabled_seconds": round(best["on"], 6),
+        "enabled_overhead_pct": round((best["on"] / best["off"] - 1.0) * 100, 2),
+        "prior_incremental_seconds": prior_seconds,
+        "disabled_vs_prior_pct": disabled_vs_prior_pct,
+        # The 2% gate on the off switch; vacuously met when no prior file
+        # (or no matching case) is available to compare against.
+        "meets_2pct_gate": (
+            disabled_vs_prior_pct is None or disabled_vs_prior_pct < 2.0
+        ),
+        "digests_match": digests_match,
+        "counters": recorder.snapshot()["counters"],
+    }
+
+
 # -- the harness ----------------------------------------------------------------
 
 
@@ -283,6 +393,7 @@ def run_perf(
     scale: str = "quick",
     repeats: int = 3,
     check_hashseed: bool = True,
+    baseline_path: str | os.PathLike | None = "BENCH_perf.json",
 ) -> dict:
     """Time and digest-verify every case of ``scale``; return the payload."""
     if scale not in ("quick", "full"):
@@ -330,6 +441,10 @@ def run_perf(
         },
         "all_digests_match": all(r["digests_match"] for r in rows),
     }
+    payload["telemetry"] = telemetry_section(repeats, baseline_path)
+    payload["all_digests_match"] = (
+        payload["all_digests_match"] and payload["telemetry"]["digests_match"]
+    )
     if check_hashseed:
         payload["hashseed"] = check_hashseed_determinism()
     return payload
@@ -359,6 +474,20 @@ def render(payload: dict) -> str:
             f"  largest case {largest['name']}: {largest['speedup']:.2f}x "
             f"(informational; the 1.5x gate applies at --scale full)"
         )
+    if "telemetry" in payload:
+        tel = payload["telemetry"]
+        lines.append(
+            f"  telemetry ({tel['case']}): off {tel['disabled_seconds'] * 1000:.1f}ms, "
+            f"on {tel['enabled_seconds'] * 1000:.1f}ms "
+            f"({tel['enabled_overhead_pct']:+.1f}%), digests "
+            f"{'match' if tel['digests_match'] else 'MISMATCH'}"
+        )
+        if tel["disabled_vs_prior_pct"] is not None:
+            lines.append(
+                f"  off-switch vs prior baseline: "
+                f"{tel['disabled_vs_prior_pct']:+.1f}% "
+                f"({'within' if tel['meets_2pct_gate'] else 'OVER'} the 2% gate)"
+            )
     if "hashseed" in payload:
         hs = payload["hashseed"]
         lines.append(
@@ -389,6 +518,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         scale=args.scale,
         repeats=args.repeats,
         check_hashseed=not args.no_hashseed,
+        baseline_path=args.out,
     )
     print(render(payload))
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

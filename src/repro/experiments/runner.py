@@ -14,8 +14,11 @@ while keeping three guarantees:
    (experiment, scale, seed, package version); warm re-runs and
    overlapping sweeps skip straight to the answer.
 3. **Observability** — every task yields a :class:`TaskRecord` (wall time,
-   cache hit/miss, rounds simulated, worker pid) that the CLI surfaces via
-   ``--stats`` and writes next to ``benchmarks/output/``.
+   cache hit/miss, rounds simulated, worker pid), and with telemetry
+   collection on, a :mod:`repro.telemetry` snapshot whose engine counters
+   are merged across the process boundary in request order.  The CLI
+   surfaces both via ``--stats`` and writes them to the explicit
+   ``--stats-out`` path (default ``benchmarks/output/local/``).
 
 Workers receive only picklable primitives (experiment id, scale, cache
 directory); the experiment callable is looked up in the registry *inside*
@@ -36,6 +39,8 @@ from repro.experiments.common import ExperimentResult
 from repro.experiments.montecarlo import Replication
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.seeds import replication_seeds
+from repro.telemetry import TelemetryRecorder, merge_snapshots
+from repro.telemetry.recorder import set_recorder
 
 __all__ = [
     "TaskRecord",
@@ -81,6 +86,8 @@ class RunReport:
     records: list[TaskRecord] = field(default_factory=list)
     jobs: int = 1
     root_seed: int = 0
+    #: merged per-worker telemetry snapshot (empty unless collection was on).
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -105,8 +112,14 @@ class RunReport:
         return stats_table((r.as_dict() for r in self.records), title=title)
 
     def stats_payload(self) -> dict:
-        """JSON-ready stats document (written alongside ``benchmarks/output/``)."""
-        return {
+        """JSON-ready stats document.
+
+        This method only *builds* the document — it never touches the
+        filesystem.  Callers choose the destination explicitly, either via
+        :meth:`write_stats` or the CLI's ``repro all --stats-out PATH``
+        (default: ``benchmarks/output/local/runner_stats.json``).
+        """
+        payload = {
             "jobs": self.jobs,
             "root_seed": self.root_seed,
             "tasks": len(self.records),
@@ -114,6 +127,19 @@ class RunReport:
             "task_wall_time_s": round(sum(r.wall_time for r in self.records), 4),
             "records": [r.as_dict() for r in self.records],
         }
+        if self.telemetry:
+            payload["telemetry"] = self.telemetry
+        return payload
+
+    def write_stats(self, path: str | os.PathLike) -> "os.PathLike | str":
+        """Write :meth:`stats_payload` as JSON to ``path`` (dirs created)."""
+        import json
+        from pathlib import Path
+
+        destination = Path(path)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(json.dumps(self.stats_payload(), indent=2) + "\n")
+        return destination
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -146,22 +172,42 @@ def _execute_experiment(
     scale: str,
     cache_dir: str | None,
     use_cache: bool,
-) -> tuple[ExperimentResult, bool, float, int]:
+    collect_telemetry: bool = False,
+) -> tuple[ExperimentResult, bool, float, int, dict]:
     """Worker body: cache lookup, compute on miss, store, time it.
 
     Module-level on purpose — :class:`ProcessPoolExecutor` pickles the
-    callable by qualified name.  Returns ``(result, cache_hit, wall, pid)``.
+    callable by qualified name.  Returns ``(result, cache_hit, wall, pid,
+    telemetry_snapshot)``; the snapshot is ``{}`` unless
+    ``collect_telemetry`` — snapshots are plain dicts, so they cross the
+    process boundary by value and the parent can merge them.
     """
     started = time.perf_counter()
-    cache = ResultCache(cache_dir) if use_cache else None
-    key = cache_key(experiment_id, scale)
-    result = cache.get(key) if cache is not None else None
-    hit = result is not None
-    if result is None:
-        result = run_experiment(experiment_id, scale)
-        if cache is not None:
-            cache.put(key, result, meta={"experiment": experiment_id, "scale": scale})
-    return result, hit, time.perf_counter() - started, os.getpid()
+    recorder = TelemetryRecorder() if collect_telemetry else None
+    previous = set_recorder(recorder) if recorder is not None else None
+    try:
+        cache = ResultCache(cache_dir) if use_cache else None
+        key = cache_key(experiment_id, scale)
+        result = cache.get(key) if cache is not None else None
+        hit = result is not None
+        if result is None:
+            result = run_experiment(experiment_id, scale)
+            if cache is not None:
+                cache.put(
+                    key, result, meta={"experiment": experiment_id, "scale": scale}
+                )
+    finally:
+        if recorder is not None:
+            set_recorder(previous)
+    wall = time.perf_counter() - started
+    snapshot: dict = {}
+    if recorder is not None:
+        recorder.count(
+            "repro_runner_tasks_total", cache="hit" if hit else "miss"
+        )
+        recorder.observe("repro_task_seconds", wall, experiment=experiment_id)
+        snapshot = recorder.snapshot()
+    return result, hit, wall, os.getpid(), snapshot
 
 
 def run_parallel(
@@ -171,6 +217,7 @@ def run_parallel(
     root_seed: int = 0,
     cache_dir: str | os.PathLike | None = None,
     use_cache: bool = True,
+    collect_telemetry: bool = False,
 ) -> RunReport:
     """Run experiments across a process pool; results in *request* order.
 
@@ -178,7 +225,11 @@ def run_parallel(
     order.  ``jobs=1`` runs inline (no pool, no pickling) — the reference
     execution every parallel run must match bit-for-bit.  ``cache_dir`` is
     resolved once here so every worker addresses the same store even if the
-    environment mutates mid-run.
+    environment mutates mid-run.  ``collect_telemetry`` installs a
+    per-worker :class:`~repro.telemetry.TelemetryRecorder` around each
+    task and merges the returned snapshots (in request order) into
+    ``report.telemetry``; the engine counters in the merge are identical
+    at any job count — only wall-time histograms vary.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     for eid in ids:
@@ -190,21 +241,26 @@ def run_parallel(
     jobs = resolve_jobs(jobs)
     resolved_dir = str(ResultCache(cache_dir).root) if use_cache else None
 
-    outcomes: list[tuple[ExperimentResult, bool, float, int]]
+    outcomes: list[tuple[ExperimentResult, bool, float, int, dict]]
     if jobs == 1 or len(ids) <= 1:
         outcomes = [
-            _execute_experiment(eid, scale, resolved_dir, use_cache) for eid in ids
+            _execute_experiment(eid, scale, resolved_dir, use_cache,
+                                collect_telemetry)
+            for eid in ids
         ]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
             futures = [
-                pool.submit(_execute_experiment, eid, scale, resolved_dir, use_cache)
+                pool.submit(_execute_experiment, eid, scale, resolved_dir,
+                            use_cache, collect_telemetry)
                 for eid in ids
             ]
             outcomes = [f.result() for f in futures]
 
     report = RunReport(results={}, jobs=jobs, root_seed=root_seed)
-    for eid, (result, hit, wall, pid) in zip(ids, outcomes):
+    if collect_telemetry:
+        report.telemetry = merge_snapshots(snap for *_, snap in outcomes)
+    for eid, (result, hit, wall, pid, _snap) in zip(ids, outcomes):
         report.results[eid] = result
         report.records.append(TaskRecord(
             experiment_id=eid,

@@ -62,12 +62,26 @@ class DeltaLRUPolicy(Policy):
 
     def desired_configuration(self, rnd: int, mini: int) -> Iterable[Color]:
         if self.incremental:
+            telem = self.sim.telemetry
             if not self._dirty:
                 if self._desired_cache is not None:
                     # Timestamps only move at delay-bound boundaries, which
                     # always land in the dirty set — no delta, same list.
+                    if telem.enabled:
+                        telem.count(
+                            "repro_desired_cache_hits_total", policy="dlru"
+                        )
                     return self._desired_cache
             else:
+                if telem.enabled:
+                    telem.count(
+                        "repro_desired_cache_misses_total", policy="dlru"
+                    )
+                    telem.observe(
+                        "repro_ranking_dirty_size",
+                        len(self._dirty),
+                        policy="dlru",
+                    )
                 states = self.state.states
                 updates: list[tuple[Color, tuple]] = []
                 removals: list[Color] = []

@@ -182,13 +182,27 @@ class DeltaLRUEDFPolicy(Policy):
         if not self.incremental:
             return self._desired_resort(rnd)
         flips = self.sim.pending.take_idle_flips()
+        telem = self.sim.telemetry
         if not flips and not self._dirty:
             if self._desired_cache is not None:
                 # No ranking input moved (LRU timestamps only change at
                 # boundary rounds, which are always dirty), so the walk
                 # below would rebuild the exact same list.
+                if telem.enabled:
+                    telem.count(
+                        "repro_desired_cache_hits_total", policy="dlru_edf"
+                    )
                 return self._desired_cache
         else:
+            if telem.enabled:
+                telem.count(
+                    "repro_desired_cache_misses_total", policy="dlru_edf"
+                )
+                telem.observe(
+                    "repro_ranking_dirty_size",
+                    len(self._dirty | flips),
+                    policy="dlru_edf",
+                )
             self._refresh_rankings(rnd, flips)
 
         # Step 1: the DeltaLRU scheme on the LRU share of the capacity.

@@ -122,11 +122,19 @@ class EDFPolicy(Policy):
         if not self.incremental:
             return self._desired_resort()
         self._dirty |= self.sim.pending.take_idle_flips()
+        telem = self.sim.telemetry
         if not self._dirty and self._desired_cache is not None:
             # Every ranking input (keys, eligibility, idleness) is unchanged
             # since the cached list was computed, so the walk below would
             # reproduce it exactly.
+            if telem.enabled:
+                telem.count("repro_desired_cache_hits_total", policy="edf")
             return self._desired_cache
+        if telem.enabled:
+            telem.count("repro_desired_cache_misses_total", policy="edf")
+            telem.observe(
+                "repro_ranking_dirty_size", len(self._dirty), policy="edf"
+            )
         self._refresh_ranking()
         cached = self.cached
         is_idle = self.sim.is_idle

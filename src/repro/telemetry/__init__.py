@@ -1,0 +1,70 @@
+"""Process-local telemetry: metrics registry, run traces, recorders.
+
+The paper's cost model is about *where* cost accrues — drops versus
+``Delta``-reconfigurations, round by round — yet until this layer existed
+the reproduction could only report end-of-run ledger totals.
+``repro.telemetry`` makes the trajectory visible:
+
+- :class:`~repro.telemetry.registry.MetricsRegistry` — counters, gauges,
+  and fixed-bucket histograms, labelled, mergeable across processes;
+- :class:`~repro.telemetry.trace.TraceWriter` — a structured JSONL run
+  trace (schema ``repro-trace-v1``), one record per round;
+- :class:`TelemetryRecorder` — the live recorder the engine layers talk
+  to; :class:`NullRecorder` — the default, whose every method is a no-op.
+
+**The off switch is the contract.**  Every instrumentation site in the
+hot path is guarded by one ``enabled`` attribute read, and the default
+process-global recorder is a :class:`NullRecorder`, so a run that never
+asked for telemetry pays (almost) nothing.  The perf harness measures the
+disabled path against the PR 2 baseline and holds it under 2%.
+
+**Telemetry never affects results.**  Recorders observe the engine; they
+are never consulted by it.  Ledgers, schedules, event logs — and
+therefore the bit-identity digests from PR 2 — are byte-identical with
+telemetry on or off (``tests/core/test_telemetry_digests.py`` and the
+perf harness's hashseed leg both enforce this).
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.recording(telemetry.TelemetryRecorder()) as rec:
+        simulate(instance, policy, n=16)
+    print(telemetry.render_table(rec.snapshot()))
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.prom import render_prometheus
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+    render_table,
+)
+from repro.telemetry.recorder import (
+    NullRecorder,
+    Recorder,
+    TelemetryRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.telemetry.trace import TRACE_SCHEMA, TraceWriter, ledger_round_delta
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_SCHEMA",
+    "TelemetryRecorder",
+    "TraceWriter",
+    "get_recorder",
+    "ledger_round_delta",
+    "merge_snapshots",
+    "recording",
+    "render_prometheus",
+    "render_table",
+    "set_recorder",
+]

@@ -1,0 +1,86 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+Implements the subset of the text format (version 0.0.4) the registry can
+produce: ``# HELP`` / ``# TYPE`` comment lines, then one sample per
+series.  Histograms expand to cumulative ``_bucket`` samples (``le``
+label, ``+Inf`` last), plus ``_sum`` and ``_count`` — exactly the shape
+scrapers expect, so ``repro metrics --format prom`` output can be dropped
+into a node-exporter textfile collector unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: metric documentation surfaced as `# HELP` lines.
+HELP: dict[str, str] = {
+    "repro_rounds_total": "Rounds simulated.",
+    "repro_mini_rounds_total": "Mini-rounds (reconfig+execute repeats) simulated.",
+    "repro_drops_total": "Jobs dropped at their deadline.",
+    "repro_arrivals_total": "Jobs delivered by the arrival phase.",
+    "repro_executions_total": "Jobs executed.",
+    "repro_reconfigs_total": "Locations recolored (each costs Delta).",
+    "repro_phase_seconds": "Wall time per simulator phase.",
+    "repro_pending_jobs": "Pending-pool size after the last simulated round.",
+    "repro_bank_noop_total": "Reconfigurations short-circuited by the no-op fast path.",
+    "repro_bank_diff_size": "Locations recolored per non-empty reconfiguration diff.",
+    "repro_idle_flips_size": "Colors per consumed idle-flip batch.",
+    "repro_ranking_dirty_size": "Colors re-keyed per ranking refresh.",
+    "repro_desired_cache_hits_total": "Desired-list cache hits (list reused verbatim).",
+    "repro_desired_cache_misses_total": "Desired-list cache misses (ranking walked).",
+    "repro_runner_tasks_total": "Runner tasks executed, by cache outcome.",
+    "repro_task_seconds": "Wall time per runner task.",
+}
+
+
+def _fnum(value: float) -> str:
+    """A float literal Prometheus parsers accept (no trailing noise)."""
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _series_name(name: str, labels: str, extra: str = "") -> str:
+    merged = ",".join(part for part in (labels, extra) if part)
+    return f"{name}{{{merged}}}" if merged else name
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def _head(name: str, kind: str) -> None:
+        help_text = HELP.get(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for name, series in snapshot.get("counters", {}).items():
+        _head(name, "counter")
+        for labels, value in series.items():
+            lines.append(f"{_series_name(name, labels)} {_fnum(value)}")
+
+    for name, series in snapshot.get("gauges", {}).items():
+        _head(name, "gauge")
+        for labels, value in series.items():
+            lines.append(f"{_series_name(name, labels)} {_fnum(value)}")
+
+    for name, series in snapshot.get("histograms", {}).items():
+        _head(name, "histogram")
+        for labels, cell in series.items():
+            cumulative = 0
+            for bound, count in zip(
+                list(cell["bounds"]) + [float("inf")], cell["buckets"]
+            ):
+                cumulative += count
+                sample = _series_name(name + "_bucket", labels, f'le="{_fnum(bound)}"')
+                lines.append(f"{sample} {cumulative}")
+            lines.append(f"{_series_name(name + '_sum', labels)} {_fnum(cell['sum'])}")
+            lines.append(
+                f"{_series_name(name + '_count', labels)} {cell['count']}"
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,77 @@
+"""Structured JSONL run traces (schema ``repro-trace-v1``).
+
+A trace is a stream of JSON records, one per line:
+
+- a ``header`` record first (schema version, instance name, engine
+  parameters), so a trace file is self-describing;
+- one ``round`` record per simulated round with the per-round counters
+  (drops, arrivals, executions, recolored locations, pending-pool size,
+  mini-rounds) and the ledger deltas for that round;
+- a final ``summary`` record mirroring the ledger summary.
+
+Records are emitted in round order and contain only deterministic values
+(no wall-clock fields), so two traces of the same run are byte-identical
+— tracing is diffable the same way digests are.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Mapping
+
+from repro.core.ledger import CostLedger
+
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+def ledger_round_delta(ledger: CostLedger, rnd: int) -> dict:
+    """The ledger's per-round cost delta, in the trace-record shape.
+
+    This is the single source both the round-trace records and
+    :func:`repro.core.debug.narrate` draw their per-round cost lines from,
+    so the narration and the trace can never disagree.
+    """
+    drops = ledger.drops_per_round.get(rnd, 0)
+    reconfigs = ledger.reconfigs_per_round.get(rnd, 0)
+    return {
+        "drops": drops,
+        "drop_cost": drops,
+        "reconfigs": reconfigs,
+        "reconfig_cost": reconfigs * ledger.delta,
+    }
+
+
+class TraceWriter:
+    """Writes trace records as JSON lines to a path or open stream."""
+
+    def __init__(self, destination: str | IO[str]):
+        if hasattr(destination, "write"):
+            self._fh: IO[str] = destination  # type: ignore[assignment]
+            self._owns = False
+            self.path = getattr(destination, "name", None)
+        else:
+            self._fh = open(destination, "w", encoding="utf-8")
+            self._owns = True
+            self.path = str(destination)
+        self.records_written = 0
+
+    def emit(self, record: Mapping) -> None:
+        """Write one record (a flat JSON-able mapping) as a JSON line."""
+        self._fh.write(json.dumps(record, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self.records_written += 1
+
+    def header(self, **fields: object) -> None:
+        self.emit({"kind": "header", "schema": TRACE_SCHEMA, **fields})
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

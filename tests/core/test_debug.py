@@ -1,5 +1,8 @@
 """Unit tests for the round narrator."""
 
+import re
+import textwrap
+
 from repro.core.debug import narrate
 from repro.core.job import Job
 from repro.core.request import Instance, RequestSequence
@@ -64,3 +67,65 @@ class TestNarrate:
         run = simulate(inst, DeltaLRUEDFPolicy(1), n=4)
         text = narrate(run, include_empty=True)
         assert "(idle)" in text
+
+
+class TestNarrateGolden:
+    """Pin the exact narration for one small run: all four phases, speed=2
+    mini-round tags, ledger-delta lines (and their elision on rounds with
+    no cost), and empty-round elision (rounds 3-4 are silent)."""
+
+    GOLDEN = textwrap.dedent("""\
+        == round 0 ==
+          arrive:  5 job(s) (color 0 x5 (bound 2))
+          config:  loc0: None -> 0
+          execute: loc0 -> job 1 (color 0) (mini 0)
+          execute: loc0 -> job 2 (color 0) (mini 1)
+          ledger:  drops=0 (cost 0), reconfigs=1 (cost 2)
+        == round 1 ==
+          execute: loc0 -> job 3 (color 0) (mini 0)
+          execute: loc0 -> job 4 (color 0) (mini 1)
+        == round 2 ==
+          drop:    1 job(s) (color 0 x1)
+          ledger:  drops=1 (cost 1), reconfigs=0 (cost 0)
+        == round 5 ==
+          arrive:  1 job(s) (color 1 x1 (bound 2))
+          config:  loc0: 0 -> 1
+          execute: loc0 -> job 6 (color 1)
+          ledger:  drops=0 (cost 0), reconfigs=1 (cost 2)""")
+
+    def test_golden_output(self):
+        # One location at double speed: 4 of the 5 color-0 jobs fit in
+        # rounds 0-1, the fifth drops at its deadline; the color-1 job
+        # arrives after a quiet gap and forces one recoloring.
+        jobs = [J(0, 0, 2), J(0, 0, 2), J(0, 0, 2), J(0, 0, 2), J(0, 0, 2),
+                J(1, 5, 2)]
+        inst = Instance(RequestSequence(jobs), delta=2)
+        run = simulate(inst, SeqEDFPolicy(2), n=1, speed=2, record_events=True)
+        text = narrate(run)
+        # Job uids come from a process-global counter; renumber relative to
+        # this sequence so the golden text is stable under any test order.
+        base = min(j.uid for j in jobs) - 1
+        text = re.sub(
+            r"job (\d+)", lambda m: f"job {int(m.group(1)) - base}", text
+        )
+        assert text == self.GOLDEN
+
+    def test_ledger_lines_match_trace_deltas(self):
+        from repro.telemetry.trace import ledger_round_delta
+
+        jobs = [J(0, 0, 2), J(0, 0, 2), J(0, 0, 2)]
+        inst = Instance(RequestSequence(jobs), delta=3)
+        run = simulate(inst, SeqEDFPolicy(3), n=1, record_events=True)
+        text = narrate(run)
+        for rnd in range(run.instance.horizon):
+            delta = ledger_round_delta(run.ledger, rnd)
+            line = (
+                f"ledger:  drops={delta['drops']} "
+                f"(cost {delta['drop_cost']}), "
+                f"reconfigs={delta['reconfigs']} "
+                f"(cost {delta['reconfig_cost']})"
+            )
+            if delta["drops"] or delta["reconfigs"]:
+                assert line in text
+            else:
+                assert f"== round {rnd} ==\n  ledger" not in text

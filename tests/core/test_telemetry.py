@@ -1,0 +1,306 @@
+"""Unit tests for the telemetry layer (registry, recorder, trace, prom).
+
+The load-bearing guarantees:
+
+- the :class:`NullRecorder` default makes every instrumentation site a
+  no-op (one attribute read), and
+- enabling telemetry never changes what a run computes — digests with the
+  recorder on and off are byte-identical on both engines.
+"""
+
+import io
+import json
+import re
+
+import pytest
+
+from repro import telemetry as tele
+from repro.telemetry.recorder import (
+    NullRecorder,
+    TelemetryRecorder,
+    get_recorder,
+    set_recorder,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    SCHEMA,
+    MetricsRegistry,
+    label_key,
+    merge_snapshots,
+)
+
+
+class TestLabelKey:
+    def test_empty(self):
+        assert label_key({}) == ""
+
+    def test_sorted_by_name(self):
+        assert label_key({"b": "y", "a": "x"}) == 'a="x",b="y"'
+
+    def test_values_stringified(self):
+        assert label_key({"n": 16}) == 'n="16"'
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.count("hits_total")
+        reg.count("hits_total", 2)
+        reg.count("hits_total", policy="edf")
+        snap = reg.snapshot()
+        assert snap["schema"] == SCHEMA
+        assert snap["counters"]["hits_total"][""] == 3
+        assert snap["counters"]["hits_total"]['policy="edf"'] == 1
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().count("hits_total", -1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("pending", 5)
+        reg.gauge("pending", 2)
+        assert reg.snapshot()["gauges"]["pending"][""] == 2
+
+    def test_histogram_bucket_placement_is_le(self):
+        reg = MetricsRegistry()
+        # DEFAULT_BUCKETS starts (1, 2, 5, ...): a value equal to a bound
+        # lands in that bound's bucket (Prometheus `le` semantics).
+        reg.observe("sizes", 1)
+        reg.observe("sizes", 2)
+        reg.observe("sizes", 3)
+        reg.observe("sizes", 10**9)  # +Inf bucket
+        cell = reg.snapshot()["histograms"]["sizes"][""]
+        assert cell["bounds"] == list(DEFAULT_BUCKETS)
+        assert cell["buckets"][0] == 1  # le=1
+        assert cell["buckets"][1] == 1  # le=2
+        assert cell["buckets"][2] == 1  # 3 -> le=5
+        assert cell["buckets"][-1] == 1  # +Inf
+        assert cell["count"] == 4
+        assert cell["sum"] == 6 + 10**9
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.count("hits_total")
+        reg.clear()
+        assert reg.snapshot()["counters"] == {}
+
+    def test_snapshot_is_json_roundtrippable(self):
+        reg = MetricsRegistry()
+        reg.count("hits_total", policy="edf")
+        reg.observe("sizes", 3)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestMergeSnapshots:
+    @staticmethod
+    def _snap(counter=0, gauge=0, obs=()):
+        reg = MetricsRegistry()
+        if counter:
+            reg.count("hits_total", counter)
+        if gauge:
+            reg.gauge("pending", gauge)
+        for value in obs:
+            reg.observe("sizes", value)
+        return reg.snapshot()
+
+    def test_counters_add_gauges_max_histograms_add(self):
+        merged = merge_snapshots([
+            self._snap(counter=2, gauge=7, obs=(1, 3)),
+            self._snap(counter=3, gauge=4, obs=(3,)),
+        ])
+        assert merged["counters"]["hits_total"][""] == 5
+        assert merged["gauges"]["pending"][""] == 7
+        cell = merged["histograms"]["sizes"][""]
+        assert cell["count"] == 3
+        assert cell["sum"] == 7
+
+    def test_merge_order_independent(self):
+        snaps = [self._snap(counter=1, gauge=i, obs=(i,)) for i in (3, 1, 2)]
+        assert merge_snapshots(snaps) == merge_snapshots(reversed(snaps))
+
+    def test_empty_snapshots_skipped(self):
+        merged = merge_snapshots([{}, self._snap(counter=1), {}])
+        assert merged["counters"]["hits_total"][""] == 1
+
+    def test_incompatible_bounds_raise(self):
+        a = self._snap(obs=(1,))
+        b = self._snap(obs=(1,))
+        b["histograms"]["sizes"][""]["bounds"] = [9, 99]
+        with pytest.raises(ValueError, match="incompatible bucket boundaries"):
+            merge_snapshots([a, b])
+
+
+class TestRecorders:
+    def test_default_recorder_is_null_and_disabled(self):
+        rec = get_recorder()
+        assert isinstance(rec, NullRecorder)
+        assert not rec.enabled
+        assert not rec.tracing
+
+    def test_null_recorder_methods_are_noops(self):
+        rec = NullRecorder()
+        rec.count("x")
+        rec.gauge("x", 1)
+        rec.observe("x", 1)
+        rec.emit({"kind": "round"})
+        rec.close()
+        assert rec.snapshot() == {}
+
+    def test_recording_installs_and_restores(self):
+        before = get_recorder()
+        with tele.recording() as rec:
+            assert get_recorder() is rec
+            assert rec.enabled
+        assert get_recorder() is before
+
+    def test_recording_restores_on_error(self):
+        before = get_recorder()
+        with pytest.raises(RuntimeError):
+            with tele.recording():
+                raise RuntimeError("boom")
+        assert get_recorder() is before
+
+    def test_set_recorder_none_restores_null(self):
+        previous = set_recorder(TelemetryRecorder())
+        try:
+            assert get_recorder().enabled
+        finally:
+            set_recorder(previous)
+        assert not get_recorder().enabled
+
+    def test_tracing_only_with_writer(self):
+        assert not TelemetryRecorder().tracing
+        assert TelemetryRecorder(trace=io.StringIO()).tracing
+
+    def test_recorder_routes_to_registry_and_writer(self):
+        buf = io.StringIO()
+        rec = TelemetryRecorder(trace=buf)
+        rec.count("hits_total")
+        rec.emit({"kind": "round", "round": 0})
+        rec.close()
+        assert rec.snapshot()["counters"]["hits_total"][""] == 1
+        assert json.loads(buf.getvalue()) == {"kind": "round", "round": 0}
+
+
+class TestTraceWriter:
+    def test_emits_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tele.TraceWriter(str(path)) as writer:
+            writer.header(instance="demo")
+            writer.emit({"b": 2, "a": 1, "kind": "round"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == tele.TRACE_SCHEMA
+        assert lines[1] == '{"a": 1, "b": 2, "kind": "round"}'
+
+    def test_stream_destination_not_closed(self):
+        buf = io.StringIO()
+        writer = tele.TraceWriter(buf)
+        writer.emit({"kind": "summary"})
+        writer.close()
+        assert not buf.closed
+        assert writer.records_written == 1
+
+
+PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" ([0-9eE.+-]+|\+Inf)$"
+)
+
+
+class TestPrometheusRendering:
+    @staticmethod
+    def _render():
+        reg = MetricsRegistry()
+        reg.count("repro_drops_total", 7)
+        reg.gauge("repro_pending_jobs", 3)
+        reg.observe("sizes", 1, policy="edf")
+        reg.observe("sizes", 4, policy="edf")
+        reg.observe("sizes", 10**9, policy="edf")
+        return tele.render_prometheus(reg.snapshot())
+
+    def test_every_line_matches_the_text_format_grammar(self):
+        for line in self._render().splitlines():
+            assert PROM_COMMENT.match(line) or PROM_SAMPLE.match(line), line
+
+    def test_counter_and_gauge_samples(self):
+        text = self._render()
+        assert "# TYPE repro_drops_total counter" in text
+        assert "repro_drops_total 7" in text.splitlines()
+        assert "# TYPE repro_pending_jobs gauge" in text
+        assert "repro_pending_jobs 3" in text.splitlines()
+
+    def test_histogram_expands_to_cumulative_buckets_sum_count(self):
+        lines = self._render().splitlines()
+        buckets = [l for l in lines if l.startswith("sizes_bucket{")]
+        # one sample per bound plus the +Inf bucket, all carrying both labels
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+        assert all('policy="edf"' in l and 'le="' in l for l in buckets)
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert buckets[-1].startswith('sizes_bucket{policy="edf",le="+Inf"}')
+        assert counts[-1] == 3
+        assert 'sizes_sum{policy="edf"}' in "\n".join(lines)
+        assert 'sizes_count{policy="edf"} 3' in lines
+
+    def test_help_lines_cover_known_metrics(self):
+        text = self._render()
+        assert "# HELP repro_drops_total Jobs dropped at their deadline." in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert tele.render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestTelemetryNeverChangesResults:
+    """The contract the whole layer hangs on: observing a run is free of
+    side effects — digests match with the recorder on and off, on both
+    engines, including with a live trace writer."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_digests_match_with_and_without_telemetry(self, incremental):
+        from repro.experiments.perf import (
+            CASES,
+            build_instance,
+            result_digest,
+            run_case,
+        )
+
+        case = CASES[0]
+        instance = build_instance(case)
+        plain = result_digest(
+            run_case(case, incremental=incremental, record_events=True,
+                     instance=instance)
+        )
+        with tele.recording(TelemetryRecorder(trace=io.StringIO())) as rec:
+            instrumented = result_digest(
+                run_case(case, incremental=incremental, record_events=True,
+                         instance=instance)
+            )
+        assert instrumented == plain
+        # and the run actually was observed
+        snap = rec.snapshot()
+        assert snap["counters"]["repro_rounds_total"][""] > 0
+
+    def test_trace_records_are_deterministic(self):
+        from repro.experiments.perf import CASES, build_instance, run_case
+
+        case = CASES[0]
+        instance = build_instance(case)
+        texts = []
+        for _ in range(2):
+            buf = io.StringIO()
+            with tele.recording(TelemetryRecorder(trace=buf)):
+                run_case(case, incremental=True, record_events=False,
+                         instance=instance)
+            texts.append(buf.getvalue())
+        assert texts[0] == texts[1]
+        kinds = [json.loads(l)["kind"] for l in texts[0].splitlines()]
+        assert kinds[0] == "header"
+        assert kinds[-1] == "summary"
+        assert kinds.count("round") > 0

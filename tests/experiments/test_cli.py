@@ -147,10 +147,27 @@ class TestAllCommand:
         self._isolate(monkeypatch, tmp_path)
         assert main(["all", "--scale", "quick"]) == 0
         capsys.readouterr()
-        assert main(["all", "--scale", "quick", "--stats"]) == 0
+        stats_out = tmp_path / "stats" / "runner_stats.json"
+        assert main(["all", "--scale", "quick", "--stats",
+                     "--stats-out", str(stats_out)]) == 0
         out = capsys.readouterr().out
         assert "cache hits 2/2" in out
         assert "runner stats" in out
+        assert str(stats_out) in out
+
+    def test_all_stats_payload_lands_at_stats_out(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        self._isolate(monkeypatch, tmp_path)
+        stats_out = tmp_path / "out" / "stats.json"
+        assert main(["all", "--scale", "quick", "--no-cache", "--stats",
+                     "--stats-out", str(stats_out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(stats_out.read_text())
+        assert {r["experiment_id"] for r in payload["records"]} == {"E1", "E4"}
+        assert payload["telemetry"]["counters"]["repro_rounds_total"][""] > 0
 
     def test_all_no_cache_leaves_store_empty(self, capsys, monkeypatch, tmp_path):
         self._isolate(monkeypatch, tmp_path)
@@ -186,6 +203,94 @@ class TestSweepCommand:
     def test_sweep_rejects_bad_int_list(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--deltas", "two", "--ns", "4", "--seeds", "0"])
+
+
+class TestMetricsCommand:
+    ARGS = ["metrics", "--workload", "uniform", "--n", "4", "--delta", "2",
+            "--horizon", "24", "--policy", "greedy"]
+
+    def test_table_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "repro_rounds_total" in out
+        assert "histogram" in out
+
+    def test_prom_output(self, capsys):
+        assert main(self.ARGS + ["--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_rounds_total counter" in out
+        assert "# TYPE repro_phase_seconds histogram" in out
+        assert 'repro_phase_seconds_bucket{phase="drop",le="+Inf"}' in out
+
+    def test_writes_trace_alongside(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--telemetry", str(trace)]) == 0
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[-1]["kind"] == "summary"
+
+    def test_renders_saved_runner_stats(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.runner import run_parallel
+
+        report = run_parallel(["E1"], jobs=1, collect_telemetry=True,
+                              cache_dir=tmp_path / "cache", use_cache=False)
+        path = report.write_stats(tmp_path / "stats.json")
+        assert main(["metrics", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_runner_tasks_total" in out
+
+    def test_renders_raw_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.count("repro_drops_total", 5)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(reg.snapshot()))
+        assert main(["metrics", "--input", str(path), "--format", "prom"]) == 0
+        assert "repro_drops_total 5" in capsys.readouterr().out
+
+    def test_rejects_non_snapshot_input(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"not": "a snapshot"}')
+        with pytest.raises(SystemExit):
+            main(["metrics", "--input", str(path)])
+
+
+class TestTelemetryFlags:
+    def test_solve_telemetry_writes_trace_without_changing_solution(
+        self, tmp_path, capsys
+    ):
+        argv = ["solve", "--workload", "uniform", "--policy", "dlru-edf",
+                "--n", "4", "--delta", "2", "--horizon", "24"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "run.jsonl"
+        assert main(argv + ["--telemetry", str(trace)]) == 0
+        instrumented = capsys.readouterr().out
+        assert trace.exists()
+        assert instrumented.replace(
+            f"wrote telemetry trace to {trace}\n", ""
+        ) == plain
+
+    def test_trace_telemetry_runs_recommended_solver(self, tmp_path, capsys):
+        import json
+
+        out_trace = tmp_path / "w.json"
+        run_trace = tmp_path / "run.jsonl"
+        assert main(["trace", "--workload", "rate-limited", "--delta", "2",
+                     "--horizon", "32", "--out", str(out_trace),
+                     "--telemetry", str(run_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "total_cost=" in out
+        records = [json.loads(l) for l in run_trace.read_text().splitlines()]
+        assert records[0]["schema"] == "repro-trace-v1"
+        assert any(r["kind"] == "round" for r in records)
 
 
 class TestEveryPolicyChoice:

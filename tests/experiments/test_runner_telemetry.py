@@ -1,0 +1,68 @@
+"""Telemetry aggregation across the parallel runner's process boundary.
+
+Per-worker recorders snapshot into plain dicts, ship home by value, and
+merge with commutative operations — so the aggregated counters are a pure
+function of the task list, not of worker count or completion order.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_parallel
+
+SAMPLE = ["E1", "E4", "E14"]
+
+
+@pytest.fixture
+def no_cache_kwargs(tmp_path):
+    return {"cache_dir": tmp_path / "cache", "use_cache": False}
+
+
+class TestRunnerTelemetry:
+    def test_report_has_no_telemetry_by_default(self, no_cache_kwargs):
+        report = run_parallel(SAMPLE, jobs=1, **no_cache_kwargs)
+        assert report.telemetry == {}
+        assert "telemetry" not in report.stats_payload()
+
+    def test_collects_merged_snapshot(self, no_cache_kwargs):
+        report = run_parallel(SAMPLE, jobs=1, collect_telemetry=True,
+                              **no_cache_kwargs)
+        counters = report.telemetry["counters"]
+        assert counters["repro_runner_tasks_total"]['cache="miss"'] == len(SAMPLE)
+        assert counters["repro_rounds_total"][""] > 0
+        # per-task wall time lands in the aggregate histogram
+        task_cells = report.telemetry["histograms"]["repro_task_seconds"]
+        assert sum(c["count"] for c in task_cells.values()) == len(SAMPLE)
+
+    def test_worker_count_does_not_change_counters(self, no_cache_kwargs):
+        serial = run_parallel(SAMPLE, jobs=1, collect_telemetry=True,
+                              **no_cache_kwargs)
+        fanned = run_parallel(SAMPLE, jobs=3, collect_telemetry=True,
+                              **no_cache_kwargs)
+        # wall-time histograms legitimately vary; deterministic sections don't
+        assert serial.telemetry["counters"] == fanned.telemetry["counters"]
+        for name, series in serial.telemetry["histograms"].items():
+            if name.endswith("_seconds"):
+                continue
+            assert series == fanned.telemetry["histograms"][name], name
+
+    def test_cache_hits_counted(self, tmp_path):
+        kwargs = {"cache_dir": tmp_path / "cache", "use_cache": True}
+        run_parallel(["E1"], jobs=1, **kwargs)
+        report = run_parallel(["E1"], jobs=1, collect_telemetry=True, **kwargs)
+        counters = report.telemetry["counters"]
+        assert counters["repro_runner_tasks_total"]['cache="hit"'] == 1
+        # a cached task never simulates anything
+        assert "repro_rounds_total" not in counters
+
+    def test_stats_payload_and_write_stats_carry_telemetry(
+        self, tmp_path, no_cache_kwargs
+    ):
+        import json
+
+        report = run_parallel(["E1"], jobs=1, collect_telemetry=True,
+                              **no_cache_kwargs)
+        payload = report.stats_payload()
+        assert payload["telemetry"] == report.telemetry
+        dest = report.write_stats(tmp_path / "out" / "stats.json")
+        on_disk = json.loads(dest.read_text())
+        assert on_disk["telemetry"]["counters"] == report.telemetry["counters"]
