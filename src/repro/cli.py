@@ -101,6 +101,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="explicit destination for the --stats JSON payload "
                        "(parent directories are created; the default lives "
                        "under the git-ignored benchmarks/output/local/)")
+    p_all.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per task before quarantine "
+                       "(default 2; retries back off deterministically)")
+    p_all.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-attempt wall-clock budget; a task past it "
+                       "has its worker killed and is retried (pool mode only)")
+    p_all.add_argument("--resume", action="store_true",
+                       help="restore cells journaled by a previous identical "
+                       "run from the cache and recompute only the missing "
+                       "ones (requires the cache; see --manifest)")
+    p_all.add_argument("--manifest", default=None, metavar="PATH",
+                       help="checkpoint journal location (default: derived "
+                       "from the run identity under the cache root)")
+    p_all.add_argument("--inject-faults", default=None, metavar="PLAN",
+                       help="deterministic chaos: a fault-plan JSON document "
+                       "or a path to one (see repro.faults; kinds: raise, "
+                       "corrupt, hang, kill)")
 
     p_sweep = sub.add_parser(
         "sweep", help="grid-sweep the pipeline solver over delta x n x seed"
@@ -343,6 +361,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return 0 if result.all_passed else 1
 
     if args.command == "all":
+        if args.resume and args.no_cache:
+            raise SystemExit("--resume needs the result cache; drop --no-cache")
         report = run_parallel(
             list(EXPERIMENTS),
             scale=args.scale,
@@ -350,18 +370,31 @@ def _main(argv: Sequence[str] | None = None) -> int:
             root_seed=args.seed,
             use_cache=not args.no_cache,
             collect_telemetry=args.stats,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            resume=args.resume,
+            manifest_path=args.manifest,
+            fault_plan=args.inject_faults,
         )
         for result in report.results.values():
             print(result.render())
             print()
-        print(f"{len(EXPERIMENTS) - report.failures}/{len(EXPERIMENTS)} "
+        attempted = len(EXPERIMENTS)
+        print(f"{len(report.results) - report.failures}/{attempted} "
               f"experiments passed all checks")
+        if report.failed:
+            print(f"quarantined {report.quarantined}/{attempted} tasks:")
+            for failure in report.failed:
+                print(f"  - {failure.label}: {failure.kind} after "
+                      f"{failure.attempts} attempt(s) — {failure.message}")
         if args.stats:
             print()
             print(report.stats_table().render())
             stats_path = report.write_stats(args.stats_out)
             print(f"\nwrote {stats_path}")
-        return 0 if report.failures == 0 else 1
+        # Nonzero whenever CI must not silently pass: a failed experiment
+        # check, or a task the supervisor had to quarantine.
+        return 0 if report.failures == 0 and not report.failed else 1
 
     if args.command == "sweep":
         return _run_sweep_command(args)

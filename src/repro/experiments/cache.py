@@ -124,7 +124,15 @@ class ResultCache:
             pass
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        """True iff :meth:`get` would return a value.
+
+        Delegates to :meth:`get` so a corrupted on-disk entry — which
+        ``get`` treats (and evicts) as a miss — can never read as a
+        phantom hit here.  Mere ``path.exists()`` checks lied exactly
+        there: callers saw ``key in cache`` succeed and then watched the
+        lookup miss.
+        """
+        return self.get(key) is not None
 
     def clear(self) -> int:
         """Delete every entry; return how many were removed."""

@@ -1,0 +1,154 @@
+"""Run manifests: the journal behind checkpoint/resume.
+
+The result cache answers "has *anyone* ever computed this cell?"; the
+manifest answers the narrower question resume needs: "which cells did
+*this run* finish before it died?".  Together they make interruption
+cheap — a resumed run replays the manifest, serves every journaled cell
+straight from the cache in the parent process (no worker dispatch, no
+recompute), and sends only the missing cells to the supervised pool.
+
+Format (``repro-manifest-v1``): a JSONL journal, one line per event,
+append-only with a flush per record so a SIGKILL mid-run loses at most
+the final line::
+
+    {"schema": "repro-manifest-v1", "run_key": "…", "identity": {…}}
+    {"kind": "cell", "label": "E1", "cache_key": "…", "fingerprint": "…"}
+    {"kind": "cell", "label": "E2", "cache_key": "…", "fingerprint": null}
+
+``run_key`` is the SHA-256 of the canonical run identity (task list,
+scale, root seed, package version), so a manifest can never leak cells
+into a run it does not describe: on identity mismatch ``load`` returns
+nothing and ``start`` rewrites the journal.  Torn or truncated lines —
+the expected crash artifact — are skipped, not fatal.
+
+Default location: ``<cache root>/manifests/<run_key>.jsonl`` — resume is
+therefore zero-configuration for the CLI (``repro all --resume``), and
+explicitly addressable for tests and pipelines via ``--manifest``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["MANIFEST_SCHEMA", "run_key", "RunManifest"]
+
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+
+def run_key(identity: Mapping) -> str:
+    """SHA-256 of the canonical JSON identity — hash-seed and process free."""
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunManifest:
+    """Append-only completion journal for one run identity."""
+
+    def __init__(self, path: str | os.PathLike, identity: Mapping):
+        self.path = Path(path)
+        self.identity = dict(identity)
+        self.key = run_key(identity)
+
+    @classmethod
+    def for_identity(
+        cls,
+        identity: Mapping,
+        cache_root: str | os.PathLike,
+        path: str | os.PathLike | None = None,
+    ) -> "RunManifest":
+        """Manifest at ``path``, defaulting under ``<cache_root>/manifests/``."""
+        if path is None:
+            path = Path(cache_root) / "manifests" / f"{run_key(identity)[:32]}.jsonl"
+        return cls(path, identity)
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> dict[str, str]:
+        """``label -> cache_key`` for every journaled cell, or ``{}``.
+
+        Empty when the file is missing, the header is unreadable, or the
+        header's ``run_key`` names a different run.  Damaged lines (torn
+        tail from a crash, partial flush) are individually skipped.
+        """
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return {}
+        completed: dict[str, str] = {}
+        header_ok = False
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write — exactly what the journal tolerates
+            if not isinstance(record, dict):
+                continue
+            if not header_ok:
+                if (
+                    record.get("schema") == MANIFEST_SCHEMA
+                    and record.get("run_key") == self.key
+                ):
+                    header_ok = True
+                    continue
+                return {}  # wrong run (or junk file): trust nothing in it
+            if record.get("kind") == "cell" and "label" in record:
+                completed[str(record["label"])] = str(record.get("cache_key", ""))
+        return completed
+
+    # -- writing ---------------------------------------------------------------
+
+    def start(self, resume: bool = False) -> dict[str, str]:
+        """Open the journal for this run; return previously completed cells.
+
+        ``resume=True`` keeps a matching journal and appends to it;
+        otherwise (or on identity mismatch) the journal is rewritten with
+        a fresh header.  Best-effort like the cache: an unwritable
+        destination disables journaling rather than failing the run.
+        """
+        completed = self.load() if resume else {}
+        if resume and completed:
+            return completed
+        header = {
+            "schema": MANIFEST_SCHEMA,
+            "run_key": self.key,
+            "identity": self.identity,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(header, sort_keys=True) + "\n")
+        except OSError:
+            pass
+        return completed
+
+    def record(self, label: str, cache_key: str, fingerprint: str | None = None) -> None:
+        """Append one completed cell; flushed immediately (crash-safe)."""
+        line = json.dumps(
+            {
+                "kind": "cell",
+                "label": label,
+                "cache_key": cache_key,
+                "fingerprint": fingerprint,
+            },
+            sort_keys=True,
+        )
+        try:
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except (OSError, ValueError):
+            pass
+
+    def discard(self) -> None:
+        """Delete the journal (e.g. after a fully clean completion)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -30,7 +30,7 @@ import hashlib
 import random
 from dataclasses import dataclass
 
-__all__ = ["derive_seed", "SeedStream", "replication_seeds"]
+__all__ = ["derive_seed", "derive_unit", "SeedStream", "replication_seeds"]
 
 #: Derived seeds are 63-bit so they stay nonnegative in a signed int64 —
 #: safe for ``random.Random``, ``numpy.random.default_rng``, and JSON.
@@ -59,6 +59,19 @@ def derive_seed(root_seed: int, *path: object) -> int:
     for label in path:
         digest.update(_token(label))
     return int.from_bytes(digest.digest()[:8], "big") >> (64 - SEED_BITS)
+
+
+def derive_unit(root_seed: int, *path: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a seed path.
+
+    The same purity/order-independence guarantees as :func:`derive_seed`,
+    rescaled to the unit interval.  Used wherever a reproducible "coin"
+    is needed without threading an RNG through call sites — fault-plan
+    probabilities and the supervisor's retry-backoff jitter both key off
+    ``(seed, label path)`` so chaos runs and retry schedules are pure
+    functions of the plan, not of wall-clock or interleaving.
+    """
+    return derive_seed(root_seed, *path) / float(1 << SEED_BITS)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,527 @@
+"""Supervised process pool: timeouts, retries, rebuilds, quarantine.
+
+The PR-1 engine fanned tasks over a bare ``ProcessPoolExecutor`` and
+called ``f.result()`` — one raised exception, hung worker, or OOM-killed
+child aborted the whole run and discarded every completed cell.  This
+module replaces that with a small supervisor built directly on
+:mod:`multiprocessing`, because fault handling needs powers the executor
+does not expose: killing a *specific* hung worker, noticing a *specific*
+dead one, and resubmitting only the attempt that was lost.
+
+Semantics (pinned by ``tests/experiments/test_supervisor.py``):
+
+- **Per-attempt timeouts.** A task past ``task_timeout`` gets its worker
+  SIGKILLed; the worker is respawned (a *rebuild*) and the attempt counts
+  as a failure.
+- **Bounded retries with deterministic backoff.** A failed attempt is
+  rescheduled up to ``retries`` times.  The backoff delay is a pure
+  function of ``(backoff_seed, label, attempt)`` — exponential with
+  :func:`~repro.experiments.seeds.derive_unit` jitter — so a retry
+  schedule replays exactly; wall-clock enters only as actual sleeping,
+  never as a decision input.
+- **Quarantine.** A task that exhausts its attempts becomes a
+  :class:`TaskFailure` in the outcome list; every other task still
+  completes and results stay in request order.
+- **Rebuild, then degrade.** Each worker death (kill fault, segfault,
+  timeout kill) is one pool rebuild.  Past ``max_rebuilds`` the
+  supervisor stops trusting process isolation, shuts the pool down, and
+  finishes the remaining tasks inline (``jobs=1`` mode) — where the
+  fault layer downgrades hang/kill to plain raises, so even a
+  pathological plan terminates.
+- **Determinism.** A fault-free supervised run performs exactly one
+  attempt per task in request-submission order and returns payloads
+  untouched: byte-identical to the unsupervised engine at any job count.
+
+Telemetry (parent-process recorder, populated only when one is active):
+``repro_task_retries_total{kind=}``, ``repro_task_timeouts_total``,
+``repro_pool_rebuilds_total``, ``repro_tasks_quarantined_total{kind=}``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Sequence
+
+from repro import faults
+from repro.experiments.seeds import derive_unit
+from repro.telemetry.recorder import get_recorder
+
+__all__ = [
+    "SupervisorConfig",
+    "TaskFailure",
+    "TaskOutcome",
+    "backoff_delay",
+    "supervised_map",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for one supervised execution."""
+
+    jobs: int = 1
+    #: additional attempts after the first (``retries=2`` → ≤ 3 attempts).
+    retries: int = 2
+    #: per-attempt wall-clock budget in seconds; None = unlimited.
+    task_timeout: float | None = None
+    #: first-retry backoff scale (seconds); doubles per further attempt.
+    backoff_base: float = 0.05
+    #: ceiling on any single backoff delay.
+    backoff_cap: float = 2.0
+    #: seed for the deterministic backoff jitter stream.
+    backoff_seed: int = 0
+    #: worker deaths tolerated before degrading to inline execution.
+    max_rebuilds: int = 3
+    #: canonical fault-plan JSON installed in every worker (None = no faults).
+    fault_plan_json: str | None = None
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why one task ended in quarantine (or one attempt failed)."""
+
+    label: str
+    #: ``error`` (raised), ``timeout``, ``crash`` (worker died), ``invalid``
+    #: (payload failed validation — e.g. an injected corruption).
+    kind: str
+    attempts: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task: a value or a quarantine record."""
+
+    label: str
+    value: object = None
+    failure: TaskFailure | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def backoff_delay(config: SupervisorConfig, label: str, attempt: int) -> float:
+    """Delay before retry number ``attempt`` (1-based) of ``label``.
+
+    ``min(cap, base·2^(attempt-1))`` scaled by a jitter factor in
+    ``[0.5, 1.0)`` drawn from the blake2b unit stream — deterministic per
+    ``(seed, label, attempt)``, so two runs of the same plan back off
+    identically while distinct tasks still decorrelate.
+    """
+    raw = min(config.backoff_cap, config.backoff_base * (2.0 ** (attempt - 1)))
+    jitter = 0.5 + 0.5 * derive_unit(config.backoff_seed, "backoff", label, attempt)
+    return raw * jitter
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, fault_plan_json: str | None) -> None:
+    """Worker loop: recv ``(idx, fn, args, attempt)``, send the outcome.
+
+    Runs in the child process.  Marks itself a supervised worker (so
+    hang/kill faults act for real) and installs the shipped fault plan —
+    explicit plumbing rather than environment inheritance, so the plan is
+    identical under any multiprocessing start method.
+    """
+    faults.mark_worker()
+    if fault_plan_json:
+        faults.install_plan(faults.FaultPlan.from_json(fault_plan_json))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        idx, fn, args, attempt = message
+        try:
+            value = fn(*args, attempt=attempt)
+        except BaseException as exc:  # noqa: BLE001 — everything becomes a report
+            conn.send((idx, False, f"{type(exc).__name__}: {exc}"))
+        else:
+            try:
+                conn.send((idx, True, value))
+            except Exception as exc:  # unpicklable payload: report, don't die
+                conn.send((idx, False, f"unpicklable result: {exc}"))
+    conn.close()
+
+
+class _Worker:
+    """One supervised child process and its duplex pipe."""
+
+    __slots__ = ("process", "conn", "idx", "deadline")
+
+    def __init__(self, ctx, fault_plan_json: str | None):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn, fault_plan_json), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.idx: int | None = None  # task index in flight
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.idx is not None
+
+    def kill(self) -> None:
+        """SIGKILL + reap; safe on an already-dead process."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Polite shutdown; falls back to kill if the worker won't exit."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+
+
+class _Supervision:
+    """Mutable state for one :func:`supervised_map` call."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        tasks: Sequence[tuple],
+        labels: Sequence[str],
+        config: SupervisorConfig,
+        validate: Callable[[object], bool] | None,
+        on_result: Callable[[int, TaskOutcome], None] | None,
+    ):
+        self.fn = fn
+        self.tasks = list(tasks)
+        self.labels = list(labels)
+        self.config = config
+        self.validate = validate
+        self.on_result = on_result
+        n = len(self.tasks)
+        self.outcomes: list[TaskOutcome | None] = [None] * n
+        self.attempts = [0] * n
+        self.ready: deque[int] = deque(range(n))
+        #: (not-before monotonic time, idx) retry holds
+        self.delayed: list[tuple[float, int]] = []
+        self.completed = 0
+        self.rebuilds = 0
+        self.stats = {
+            "retries": 0,
+            "timeouts": 0,
+            "rebuilds": 0,
+            "quarantined": 0,
+            "degraded": False,
+        }
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _finish(self, idx: int, outcome: TaskOutcome) -> None:
+        self.outcomes[idx] = outcome
+        self.completed += 1
+        if self.on_result is not None:
+            self.on_result(idx, outcome)
+
+    def _succeed(self, idx: int, value: object) -> None:
+        if self.validate is not None and not self.validate(value):
+            self._fail(
+                idx,
+                "invalid",
+                f"payload failed validation ({type(value).__name__})",
+            )
+            return
+        self._finish(
+            idx,
+            TaskOutcome(
+                label=self.labels[idx], value=value, attempts=self.attempts[idx]
+            ),
+        )
+
+    def _fail(self, idx: int, kind: str, message: str) -> None:
+        """One attempt failed: schedule a retry or quarantine the task."""
+        recorder = get_recorder()
+        if kind == "timeout":
+            self.stats["timeouts"] += 1
+            if recorder.enabled:
+                recorder.count("repro_task_timeouts_total")
+        if self.attempts[idx] <= self.config.retries:
+            self.stats["retries"] += 1
+            delay = backoff_delay(self.config, self.labels[idx], self.attempts[idx])
+            if recorder.enabled:
+                recorder.count("repro_task_retries_total", kind=kind)
+                recorder.observe("repro_task_backoff_seconds", delay)
+            self.delayed.append((time.monotonic() + delay, idx))
+        else:
+            self.stats["quarantined"] += 1
+            if recorder.enabled:
+                recorder.count("repro_tasks_quarantined_total", kind=kind)
+            failure = TaskFailure(
+                label=self.labels[idx],
+                kind=kind,
+                attempts=self.attempts[idx],
+                message=message,
+            )
+            self._finish(
+                idx,
+                TaskOutcome(
+                    label=self.labels[idx],
+                    failure=failure,
+                    attempts=self.attempts[idx],
+                ),
+            )
+
+    def _rebuild(self) -> None:
+        self.rebuilds += 1
+        self.stats["rebuilds"] += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_pool_rebuilds_total")
+
+    def _mature_delayed(self) -> float | None:
+        """Move due retries to ready; return seconds until the next one."""
+        if not self.delayed:
+            return None
+        now = time.monotonic()
+        due = [item for item in self.delayed if item[0] <= now]
+        if due:
+            self.delayed = [item for item in self.delayed if item[0] > now]
+            for _, idx in sorted(due):
+                self.ready.append(idx)
+            return 0.0
+        return max(0.0, min(t for t, _ in self.delayed) - now)
+
+    # -- inline execution (jobs=1 and the degraded path) -----------------------
+
+    def run_inline(self) -> None:
+        """Finish every unfinished task in this process, request order first.
+
+        The fault layer sees a non-worker process, so hang/kill downgrade
+        to raises; timeouts are unenforceable inline and therefore ignored.
+        """
+        previous = None
+        installed = False
+        if self.config.fault_plan_json:
+            previous = faults.install_plan(
+                faults.FaultPlan.from_json(self.config.fault_plan_json)
+            )
+            installed = True
+        try:
+            pending = sorted(set(self.ready) | {idx for _, idx in self.delayed})
+            self.ready.clear()
+            self.delayed = []
+            for idx in pending:
+                while self.outcomes[idx] is None:
+                    self.attempts[idx] += 1
+                    try:
+                        value = self.fn(
+                            *self.tasks[idx], attempt=self.attempts[idx] - 1
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        self._fail(idx, "error", f"{type(exc).__name__}: {exc}")
+                    else:
+                        self._succeed(idx, value)
+                    hold = self._mature_delayed()
+                    if hold:
+                        time.sleep(hold)
+                        self._mature_delayed()
+                    self.ready.clear()  # retries of idx re-enter via outcomes check
+        finally:
+            if installed:
+                faults.install_plan(previous)
+
+    # -- pooled execution ------------------------------------------------------
+
+    def run_pool(self) -> None:
+        ctx = mp.get_context()
+        plan_json = self.config.fault_plan_json
+        pool_size = max(1, min(self.config.jobs, len(self.tasks)))
+        workers = [_Worker(ctx, plan_json) for _ in range(pool_size)]
+        try:
+            while self.completed < len(self.tasks):
+                if self.stats["degraded"]:
+                    break
+                self._mature_delayed()
+                self._assign(workers, ctx, plan_json)
+                if self.stats["degraded"]:
+                    break
+                in_flight = [w for w in workers if w.busy]
+                if not in_flight:
+                    hold = self._mature_delayed()
+                    if self.ready:
+                        continue
+                    if hold is None:
+                        break  # nothing pending, nothing in flight
+                    time.sleep(hold)
+                    continue
+                self._wait_and_collect(in_flight, workers, ctx, plan_json)
+        finally:
+            for worker in workers:
+                if worker.busy:
+                    # Preempted mid-flight (degradation): the attempt never
+                    # concluded, so give it back without burning budget.
+                    self.attempts[worker.idx] -= 1
+                    self.ready.append(worker.idx)
+                    worker.kill()
+                else:
+                    worker.stop()
+        if self.completed < len(self.tasks):
+            self.stats["degraded"] = True
+            self.run_inline()
+
+    def _assign(self, workers: list[_Worker], ctx, plan_json) -> None:
+        for slot, worker in enumerate(workers):
+            if worker.busy or not self.ready:
+                continue
+            idx = self.ready.popleft()
+            attempt = self.attempts[idx]
+            try:
+                worker.conn.send((idx, self.fn, self.tasks[idx], attempt))
+            except (OSError, ValueError, BrokenPipeError):
+                # Worker died while idle: rebuild the slot and re-queue.
+                self.ready.appendleft(idx)
+                worker.kill()
+                self._rebuild()
+                if self.rebuilds > self.config.max_rebuilds:
+                    self.stats["degraded"] = True
+                    return
+                workers[slot] = _Worker(ctx, plan_json)
+                continue
+            self.attempts[idx] = attempt + 1
+            worker.idx = idx
+            worker.deadline = (
+                time.monotonic() + self.config.task_timeout
+                if self.config.task_timeout is not None
+                else None
+            )
+
+    def _wait_and_collect(
+        self, in_flight: list[_Worker], workers: list[_Worker], ctx, plan_json
+    ) -> None:
+        now = time.monotonic()
+        timeout: float | None = None
+        deadlines = [w.deadline for w in in_flight if w.deadline is not None]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - now)
+        retry_hold = self._mature_delayed()
+        if retry_hold is not None:
+            timeout = retry_hold if timeout is None else min(timeout, retry_hold)
+        readable = _conn_wait([w.conn for w in in_flight], timeout)
+        now = time.monotonic()
+        for slot, worker in enumerate(workers):
+            if not worker.busy:
+                continue
+            if worker.conn in readable:
+                idx = worker.idx
+                try:
+                    msg_idx, ok, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died under the task (kill fault, segfault,
+                    # OOM): rebuild the slot, fail the attempt as a crash.
+                    worker.idx = None
+                    worker.deadline = None
+                    worker.kill()
+                    self._rebuild()
+                    if self.rebuilds > self.config.max_rebuilds:
+                        self.stats["degraded"] = True
+                    else:
+                        workers[slot] = _Worker(ctx, plan_json)
+                    self._fail(idx, "crash", "worker process died mid-task")
+                    continue
+                worker.idx = None
+                worker.deadline = None
+                if msg_idx != idx:  # pragma: no cover — protocol invariant
+                    raise AssertionError(
+                        f"worker answered task {msg_idx}, expected {idx}"
+                    )
+                if ok:
+                    self._succeed(idx, payload)
+                else:
+                    self._fail(idx, "error", payload)
+            elif worker.deadline is not None and now >= worker.deadline:
+                # Hung past its budget: only SIGKILL can reclaim the slot.
+                idx = worker.idx
+                worker.idx = None
+                worker.deadline = None
+                worker.kill()
+                self._rebuild()
+                if self.rebuilds > self.config.max_rebuilds:
+                    self.stats["degraded"] = True
+                else:
+                    workers[slot] = _Worker(ctx, plan_json)
+                self._fail(
+                    idx,
+                    "timeout",
+                    f"attempt exceeded task_timeout={self.config.task_timeout}s",
+                )
+
+
+def supervised_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    labels: Sequence[str],
+    config: SupervisorConfig,
+    validate: Callable[[object], bool] | None = None,
+    on_result: Callable[[int, TaskOutcome], None] | None = None,
+) -> tuple[list[TaskOutcome], dict]:
+    """Run ``fn(*tasks[i], attempt=k)`` for every task under supervision.
+
+    ``fn`` must be a module-level (picklable) callable accepting a keyword
+    ``attempt`` (0-based attempt number — the hook fault injection and
+    retry-aware bodies key off).  Returns ``(outcomes, stats)`` with
+    outcomes in request order; ``stats`` counts retries/timeouts/rebuilds/
+    quarantines and records whether the run degraded to inline execution.
+
+    ``validate`` (parent-side) rejects structurally wrong payloads — a
+    returned value failing it is treated exactly like a raised exception.
+    ``on_result`` fires in *completion* order as each task reaches a
+    terminal state; the runner uses it to journal checkpoints, so a run
+    killed midway still knows what it finished.
+    """
+    if len(tasks) != len(labels):
+        raise ValueError("tasks and labels must have equal length")
+    state = _Supervision(fn, tasks, labels, config, validate, on_result)
+    if not tasks:
+        return [], state.stats
+    if config.jobs <= 1 or len(tasks) == 1:
+        state.run_inline()
+    else:
+        state.run_pool()
+    assert all(outcome is not None for outcome in state.outcomes)
+    return list(state.outcomes), state.stats  # type: ignore[arg-type]

@@ -1,5 +1,6 @@
 """The content-addressed result cache: keys, hits, corruption, overrides."""
 
+import multiprocessing
 import os
 import pickle
 import subprocess
@@ -83,6 +84,113 @@ class TestResultCache:
         cache.put(cache_key("E2", "quick"), 2)
         assert cache.clear() == 2
         assert cache.get(cache_key("E1", "quick")) is None
+
+
+def _hammer_same_key(root: str, key: str, writes: int, tag: int) -> None:
+    """Writer process: repeatedly overwrite one cell with complete payloads."""
+    cache = ResultCache(root)
+    for i in range(writes):
+        cache.put(key, {"tag": tag, "i": i, "payload": "x" * 4096})
+
+
+def _write_key_range(root: str, start: int, stop: int) -> None:
+    cache = ResultCache(root)
+    for i in range(start, stop):
+        cache.put(cache_key(f"K{i}", "quick"), {"cell": i})
+
+
+class TestCacheConcurrency:
+    def test_racing_writers_never_expose_a_torn_entry(self, tmp_path):
+        # Several processes hammer the *same* key while the parent reads in
+        # a tight loop.  The atomic temp-file + os.replace protocol must
+        # mean every read sees either a miss or a complete payload — never
+        # a partial pickle, never an exception.
+        key = cache_key("RACE", "quick")
+        cache = ResultCache(tmp_path)
+        ctx = multiprocessing.get_context()
+        writers = [
+            ctx.Process(target=_hammer_same_key,
+                        args=(str(tmp_path), key, 40, tag))
+            for tag in range(4)
+        ]
+        for p in writers:
+            p.start()
+        try:
+            observed = 0
+            while any(p.is_alive() for p in writers):
+                value = cache.get(key)
+                if value is not None:
+                    assert set(value) == {"tag", "i", "payload"}
+                    assert len(value["payload"]) == 4096
+                    observed += 1
+        finally:
+            for p in writers:
+                p.join(timeout=30)
+        assert observed > 0  # the race was actually exercised
+        final = cache.get(key)
+        assert final is not None and len(final["payload"]) == 4096
+
+    def test_writers_on_disjoint_keys_all_land(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_write_key_range,
+                        args=(str(tmp_path), i * 10, (i + 1) * 10))
+            for i in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+        cache = ResultCache(tmp_path)
+        for i in range(30):
+            assert cache.get(cache_key(f"K{i}", "quick")) == {"cell": i}
+
+
+class TestTornWrites:
+    def test_truncated_entry_is_a_miss_and_evicted(self, tmp_path):
+        # A torn write (power loss, SIGKILL mid-copy) leaves a prefix of a
+        # valid pickle; the reader must treat it as a miss and evict it.
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", "quick")
+        cache.put(key, {"big": list(range(1000))})
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", "quick")
+        cache.put(key, "value")
+        cache._path(key).write_bytes(b"")
+        assert cache.get(key) is None
+
+    def test_contains_validates_like_get(self, tmp_path):
+        # The old implementation answered `in` with a bare exists() check,
+        # so a corrupted file read as a phantom hit.  Pinned: __contains__
+        # must agree with get() on every damaged entry.
+        cache = ResultCache(tmp_path)
+        key = cache_key("E1", "quick")
+        cache.put(key, "value")
+        assert key in cache
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle at all")
+        assert path.exists()
+        assert key not in cache  # the lie the old exists() check told
+        assert cache.get(key) is None
+
+    def test_contains_false_on_truncated_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("E2", "quick")
+        cache.put(key, {"big": list(range(1000))})
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        assert key not in cache
+
+    def test_contains_miss_on_absent_key(self, tmp_path):
+        assert cache_key("NEVER", "quick") not in ResultCache(tmp_path)
 
 
 class TestCacheDirResolution:

@@ -175,6 +175,96 @@ class TestAllCommand:
         assert not list((tmp_path / "cache").glob("*/*.pkl"))
 
 
+def _run_with_failing_check(scale: str = "quick"):
+    """A registry stand-in whose result fails one check."""
+    from repro.experiments.adversarial import run_e1
+
+    result = run_e1(scale)
+    result.check("deliberately failing check (test stub)", False)
+    return result
+
+
+class TestAllExitCodes:
+    """The ``all`` exit-code contract CI leans on: 0 = everything passed,
+    1 = a failed experiment check OR a quarantined task."""
+
+    @staticmethod
+    def _isolate(monkeypatch, tmp_path):
+        from repro.experiments.adversarial import run_e1, run_e4
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS", {"E1": run_e1, "E4": run_e4}
+        )
+
+    def test_clean_run_exits_zero(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        assert main(["all", "--scale", "quick"]) == 0
+
+    def test_failed_check_exits_one(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        import repro.experiments.registry as registry
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "E1", _run_with_failing_check)
+        assert main(["all", "--scale", "quick", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "1/2 experiments passed" in out
+        assert "[FAIL]" in out
+
+    def test_quarantine_exits_one_and_reports(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        plan = '{"faults": [{"task": "E4", "kind": "raise", "times": -1}]}'
+        assert main(["all", "--scale", "quick", "--no-cache",
+                     "--retries", "0", "--inject-faults", plan]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined 1/2 tasks:" in out
+        assert "E4: error after 1 attempt(s)" in out
+        assert "## E1" in out  # the healthy experiment still completed
+
+    def test_recovered_faults_exit_zero(self, capsys, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        plan = '{"faults": [{"task": "E4", "kind": "raise", "times": 1}]}'
+        assert main(["all", "--scale", "quick", "--no-cache",
+                     "--retries", "2", "--inject-faults", plan]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 experiments passed" in out
+        assert "quarantined" not in out
+
+    def test_resume_rejects_no_cache(self, monkeypatch, tmp_path):
+        self._isolate(monkeypatch, tmp_path)
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["all", "--resume", "--no-cache"])
+
+    def test_interrupt_then_resume_round_trip(self, capsys, monkeypatch, tmp_path):
+        # Zero-config resume: same identity → same derived manifest under
+        # the cache root; the second invocation restores E1 and recomputes
+        # only the quarantined E4.
+        self._isolate(monkeypatch, tmp_path)
+        plan = '{"faults": [{"task": "E4", "kind": "raise", "times": -1}]}'
+        assert main(["all", "--scale", "quick", "--resume",
+                     "--retries", "0", "--inject-faults", plan]) == 1
+        capsys.readouterr()
+        assert main(["all", "--scale", "quick", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 experiments passed" in out
+
+    def test_quarantine_lands_in_stats_payload(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        self._isolate(monkeypatch, tmp_path)
+        stats_out = tmp_path / "stats.json"
+        plan = '{"faults": [{"task": "E1", "kind": "raise", "times": -1}]}'
+        assert main(["all", "--scale", "quick", "--no-cache", "--stats",
+                     "--retries", "0", "--inject-faults", plan,
+                     "--stats-out", str(stats_out)]) == 1
+        capsys.readouterr()
+        payload = json.loads(stats_out.read_text())
+        assert payload["quarantined"] == 1
+        assert payload["failed"][0]["label"] == "E1"
+        assert payload["failed"][0]["kind"] == "error"
+        assert payload["supervisor"]["degraded"] is False
+
+
 class TestSweepCommand:
     def test_sweep_pivot_table(self, capsys):
         assert main([

@@ -1,0 +1,236 @@
+"""Checkpoint/resume: the run manifest and the restore fast paths.
+
+The contract under test: an interrupted run resumed against the same
+manifest recomputes *only* the missing cells (restored cells show up as
+``attempts=0`` cache hits), and the final payload is identical to what an
+uninterrupted run would have produced.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.manifest import MANIFEST_SCHEMA, RunManifest, run_key
+from repro.experiments.runner import QuarantineError, replicate_parallel, run_parallel
+from repro.experiments.seeds import replication_seeds
+from repro.experiments.sweeps import grid, point_label, run_sweep
+from repro.reductions.pipeline import solve_rate_limited
+from repro.workloads.generators import rate_limited_workload
+
+IDENTITY = {"kind": "test", "ids": ["E1", "E2"], "version": "x"}
+
+
+class TestRunManifest:
+    def test_fresh_start_then_journal_round_trip(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl", IDENTITY)
+        assert manifest.start() == {}
+        manifest.record("E1", "key1", "fp1")
+        manifest.record("E2", "key2")
+        assert manifest.load() == {"E1": "key1", "E2": "key2"}
+
+    def test_resume_keeps_and_appends(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl", IDENTITY)
+        manifest.start()
+        manifest.record("E1", "key1")
+        again = RunManifest(tmp_path / "run.jsonl", IDENTITY)
+        assert again.start(resume=True) == {"E1": "key1"}
+        again.record("E2", "key2")
+        assert again.load() == {"E1": "key1", "E2": "key2"}
+
+    def test_start_without_resume_truncates(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl", IDENTITY)
+        manifest.start()
+        manifest.record("E1", "key1")
+        manifest.start(resume=False)
+        assert manifest.load() == {}
+
+    def test_identity_mismatch_trusts_nothing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunManifest(path, IDENTITY).start()
+        RunManifest(path, IDENTITY).record("E1", "key1")
+        other = RunManifest(path, {**IDENTITY, "ids": ["E3"]})
+        assert other.load() == {}
+        assert other.start(resume=True) == {}  # and rewrites the header
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        manifest = RunManifest(path, IDENTITY)
+        manifest.start()
+        manifest.record("E1", "key1")
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "label": "E2", "cache_')  # SIGKILL artifact
+        assert manifest.load() == {"E1": "key1"}
+
+    def test_junk_file_is_not_a_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json at all\n")
+        assert RunManifest(path, IDENTITY).load() == {}
+
+    def test_run_key_is_canonical(self):
+        assert run_key({"b": 1, "a": 2}) == run_key({"a": 2, "b": 1})
+        assert run_key({"a": 1}) != run_key({"a": 2})
+
+    def test_default_location_under_cache_root(self, tmp_path):
+        manifest = RunManifest.for_identity(IDENTITY, cache_root=tmp_path)
+        assert manifest.path.parent == tmp_path / "manifests"
+        assert manifest.path.suffix == ".jsonl"
+
+    def test_header_is_first_line(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl", IDENTITY)
+        manifest.start()
+        header = json.loads((tmp_path / "run.jsonl").read_text().splitlines()[0])
+        assert header["schema"] == MANIFEST_SCHEMA
+        assert header["run_key"] == manifest.key
+
+
+class TestRunParallelResume:
+    IDS = ["E1", "E4"]
+    PLAN = '{"faults": [{"task": "E4", "kind": "raise", "times": -1}]}'
+
+    def test_resume_recomputes_only_missing_cells(self, tmp_path):
+        kwargs = {
+            "scale": "quick",
+            "jobs": 1,
+            "cache_dir": tmp_path / "cache",
+            "manifest_path": tmp_path / "run.jsonl",
+        }
+        interrupted = run_parallel(
+            self.IDS, retries=0, fault_plan=self.PLAN, **kwargs
+        )
+        assert list(interrupted.results) == ["E1"]
+        assert [f.label for f in interrupted.failed] == ["E4"]
+
+        resumed = run_parallel(self.IDS, resume=True, **kwargs)
+        assert list(resumed.results) == self.IDS and not resumed.failed
+        by_id = {r.experiment_id: r for r in resumed.records}
+        # E1 was journaled: restored in the parent, zero attempts, a hit.
+        assert by_id["E1"].attempts == 0 and by_id["E1"].cache_hit
+        assert by_id["E1"].wall_time == 0.0
+        # E4 was the missing cell: actually executed this time.
+        assert by_id["E4"].attempts >= 1
+        assert resumed.cache_hits == 1
+
+        reference = run_parallel(self.IDS, jobs=1, use_cache=False,
+                                 cache_dir=tmp_path / "cold")
+        for eid in self.IDS:
+            assert (
+                resumed.results[eid].fingerprint()
+                == reference.results[eid].fingerprint()
+            ), eid
+
+    def test_resume_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            run_parallel(["E1"], use_cache=False, resume=True,
+                         cache_dir=tmp_path)
+
+    def test_manifest_without_resume_still_journals(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_parallel(["E1"], jobs=1, cache_dir=tmp_path / "cache",
+                     manifest_path=path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["schema"] == MANIFEST_SCHEMA
+        assert [l["label"] for l in lines[1:]] == ["E1"]
+        assert lines[1]["fingerprint"]  # journaled with its digest
+
+
+def _metric(seed: int) -> float:
+    """Module-level Monte-Carlo metric: cheap and a pure function of seed."""
+    return float((seed % 1000) / 7.0)
+
+
+class TestReplicateParallelResume:
+    def test_quarantine_raises_but_journals_survivors(self, tmp_path):
+        seeds = replication_seeds(3, "m", 5)
+        victim = f"m#{seeds[2]}"
+        plan = json.dumps(
+            {"faults": [{"task": victim, "kind": "raise", "times": -1}]}
+        )
+        kwargs = {
+            "root_seed": 3,
+            "jobs": 1,
+            "cache_dir": tmp_path / "cache",
+            "use_cache": True,
+            "manifest_path": tmp_path / "mc.jsonl",
+        }
+        with pytest.raises(QuarantineError) as err:
+            replicate_parallel(_metric, "m", 5, retries=0, fault_plan=plan,
+                               **kwargs)
+        assert [f.label for f in err.value.failures] == [victim]
+
+        replication, records = replicate_parallel(_metric, "m", 5,
+                                                  resume=True, **kwargs)
+        by_seed = {r.seed: r for r in records}
+        for i, seed in enumerate(seeds):
+            if i == 2:
+                assert by_seed[seed].attempts >= 1  # the recomputed cell
+            else:
+                assert by_seed[seed].attempts == 0 and by_seed[seed].cache_hit
+
+        clean, _ = replicate_parallel(_metric, "m", 5, root_seed=3, jobs=1)
+        assert replication.values == clean.values
+
+
+def _build(point):
+    return rate_limited_workload(
+        num_colors=3, horizon=16, delta=2, seed=point["seed"]
+    )
+
+
+def _run(instance, point):
+    res = solve_rate_limited(instance, n=point["n"], record_events=False)
+    return {"cost": res.total_cost}
+
+
+class TestRunSweepResume:
+    POINTS = grid(seed=[0, 1], n=[8, 16])
+
+    def test_interrupt_then_resume_completes_the_grid(self, tmp_path):
+        victim = point_label(self.POINTS[1])
+        plan = json.dumps(
+            {"faults": [{"task": victim, "kind": "raise", "times": -1}]}
+        )
+        kwargs = {
+            "jobs": 1,
+            "cache_dir": tmp_path / "cache",
+            "sweep_id": "study",
+            "manifest_path": tmp_path / "sweep.jsonl",
+        }
+        interrupted = run_sweep(self.POINTS, _build, _run, retries=0,
+                                fault_plan=plan, **kwargs)
+        assert len(interrupted.rows) == 3
+        assert [f.label for f in interrupted.failed] == [victim]
+
+        resumed = run_sweep(self.POINTS, _build, _run, resume=True, **kwargs)
+        assert not resumed.failed and len(resumed.rows) == 4
+
+        reference = run_sweep(self.POINTS, _build, _run)
+        assert resumed.rows == reference.rows
+
+    def test_restored_cells_come_from_the_cache_not_recompute(self, tmp_path):
+        victim = point_label(self.POINTS[0])
+        plan = json.dumps(
+            {"faults": [{"task": victim, "kind": "raise", "times": -1}]}
+        )
+        kwargs = {
+            "jobs": 1,
+            "cache_dir": tmp_path / "cache",
+            "sweep_id": "study",
+            "manifest_path": tmp_path / "sweep.jsonl",
+        }
+        run_sweep(self.POINTS, _build, _run, retries=0, fault_plan=plan,
+                  **kwargs)
+        # Poison the cache entry of a *completed* cell: if resume recomputed
+        # it, the marker would vanish; if it restores, the marker survives.
+        cache = ResultCache(tmp_path / "cache")
+        marked_label = point_label(self.POINTS[2])
+        key = cache_key("study", marked_label, kind="sweep")
+        assert cache.get(key) is not None
+        cache.put(key, {"marker": True})
+
+        resumed = run_sweep(self.POINTS, _build, _run, resume=True, **kwargs)
+        assert {"marker": True} in resumed.rows
+
+    def test_resume_requires_identification(self):
+        with pytest.raises(ValueError, match="sweep_id"):
+            run_sweep(self.POINTS, _build, _run, resume=True)

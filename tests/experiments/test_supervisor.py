@@ -1,0 +1,243 @@
+"""The supervised pool: retries, timeouts, rebuilds, quarantine, degradation.
+
+Every scenario here drives :func:`supervised_map` with a deterministic
+fault plan (see :mod:`repro.faults`) — chaos with a fixed script, so the
+assertions are exact: which task fails, on which attempt, with which
+kind, and what the counters read afterwards.
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.experiments.supervisor import (
+    SupervisorConfig,
+    backoff_delay,
+    supervised_map,
+)
+from repro.faults import FaultPlan
+
+#: fast deterministic backoff so retry-heavy tests stay quick.
+FAST = {"backoff_base": 0.01, "backoff_cap": 0.05}
+
+
+def _body(x, attempt=0):
+    """Module-level task body (picklable): optionally faulted, else x*10+attempt."""
+    fault = faults.maybe_inject(f"task{x}", attempt)
+    if fault == "corrupt":
+        return faults.CORRUPTED
+    return x * 10 + attempt
+
+
+def _tasks(n):
+    return [(i,) for i in range(n)], [f"task{i}" for i in range(n)]
+
+
+def _plan(doc: str) -> str:
+    return FaultPlan.from_json(doc).to_json()
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_values_in_request_order_single_attempt(self, jobs):
+        tasks, labels = _tasks(6)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels, SupervisorConfig(jobs=jobs, **FAST)
+        )
+        assert [o.value for o in outcomes] == [0, 10, 20, 30, 40, 50]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert stats == {
+            "retries": 0, "timeouts": 0, "rebuilds": 0,
+            "quarantined": 0, "degraded": False,
+        }
+
+    def test_empty_task_list(self):
+        outcomes, stats = supervised_map(_body, [], [], SupervisorConfig(jobs=2))
+        assert outcomes == []
+        assert stats["quarantined"] == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            supervised_map(_body, [(1,)], ["a", "b"], SupervisorConfig())
+
+
+class TestRetries:
+    def test_raise_fault_retried_to_success(self):
+        plan = _plan('{"faults":[{"task":"task2","kind":"raise","times":1}]}')
+        tasks, labels = _tasks(4)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=2, fault_plan_json=plan, **FAST),
+        )
+        assert [o.value for o in outcomes] == [0, 10, 21, 30]  # attempt 1 won
+        assert outcomes[2].attempts == 2
+        assert stats["retries"] == 1 and stats["quarantined"] == 0
+
+    def test_corrupt_payload_detected_and_retried(self):
+        plan = _plan('{"faults":[{"task":"task3","kind":"corrupt","times":1}]}')
+        tasks, labels = _tasks(4)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=2, fault_plan_json=plan, **FAST),
+            validate=lambda v: isinstance(v, int),
+        )
+        assert outcomes[3].ok and outcomes[3].value == 31
+        assert stats["retries"] == 1
+
+    def test_persistent_failure_quarantined(self):
+        plan = _plan('{"faults":[{"task":"task1","kind":"raise","times":-1}]}')
+        tasks, labels = _tasks(3)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=1, fault_plan_json=plan, **FAST),
+        )
+        assert outcomes[0].ok and outcomes[2].ok  # the rest completed
+        failure = outcomes[1].failure
+        assert failure is not None
+        assert failure.kind == "error"
+        assert failure.attempts == 2  # 1 + retries
+        assert "FaultInjected" in failure.message
+        assert stats["quarantined"] == 1
+
+    def test_retry_results_identical_to_first_try_results(self):
+        # The attempt number feeds injection only — a retried task returns
+        # what a clean first try would have, bar the attempt marker _body
+        # deliberately encodes.
+        plan = _plan('{"faults":[{"task":"task0","kind":"raise","times":1}]}')
+        tasks, labels = _tasks(2)
+        outcomes, _ = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=1, retries=1, fault_plan_json=plan, **FAST),
+        )
+        assert outcomes[0].ok
+
+
+class TestWorkerDeath:
+    def test_kill_fault_rebuilds_pool_and_retries(self):
+        plan = _plan('{"faults":[{"task":"task1","kind":"kill","times":1}]}')
+        tasks, labels = _tasks(4)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=2, fault_plan_json=plan, **FAST),
+        )
+        assert [o.ok for o in outcomes] == [True] * 4
+        assert outcomes[1].attempts == 2
+        assert stats["rebuilds"] == 1
+        assert stats["quarantined"] == 0
+
+    def test_hang_fault_times_out_and_retries(self):
+        plan = _plan(
+            '{"faults":[{"task":"task0","kind":"hang","times":1,'
+            '"hang_seconds":30}]}'
+        )
+        tasks, labels = _tasks(3)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=1, task_timeout=1.0,
+                             fault_plan_json=plan, **FAST),
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].attempts == 2
+        assert stats["timeouts"] == 1 and stats["rebuilds"] == 1
+
+    def test_persistent_hang_quarantined_as_timeout(self):
+        plan = _plan(
+            '{"faults":[{"task":"task1","kind":"hang","times":-1,'
+            '"hang_seconds":30}]}'
+        )
+        tasks, labels = _tasks(2)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=1, task_timeout=0.5,
+                             max_rebuilds=5, fault_plan_json=plan, **FAST),
+        )
+        assert outcomes[0].ok
+        assert outcomes[1].failure.kind == "timeout"
+        assert stats["timeouts"] == 2  # both attempts hit the budget
+
+
+class TestDegradation:
+    def test_exhausted_rebuilds_degrade_to_inline(self):
+        # Every attempt of every task kills its worker; past max_rebuilds
+        # the supervisor must finish inline, where kill downgrades to a
+        # raise — so the run *terminates*, with everything quarantined,
+        # and the test process is still alive to assert it.
+        plan = _plan('{"faults":[{"task":"task*","kind":"kill","times":-1}]}')
+        tasks, labels = _tasks(3)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=1, max_rebuilds=2,
+                             fault_plan_json=plan, **FAST),
+        )
+        assert stats["degraded"] is True
+        assert all(not o.ok for o in outcomes)
+        # Quarantine kind depends on where the attempt budget ran out:
+        # "crash" while still pooled, "error" (downgraded kill) once inline.
+        assert {o.failure.kind for o in outcomes} <= {"crash", "error"}
+
+    def test_inline_jobs1_downgrades_kill_and_hang(self):
+        plan = _plan(
+            '{"faults":['
+            '{"task":"task0","kind":"kill","times":-1},'
+            '{"task":"task1","kind":"hang","times":-1}]}'
+        )
+        tasks, labels = _tasks(3)
+        outcomes, stats = supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=1, retries=0, fault_plan_json=plan, **FAST),
+        )
+        assert outcomes[0].failure.kind == "error"
+        assert outcomes[1].failure.kind == "error"
+        assert outcomes[2].ok
+        assert stats["rebuilds"] == 0  # no processes were harmed
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        config = SupervisorConfig(backoff_seed=7)
+        assert backoff_delay(config, "E3", 1) == backoff_delay(config, "E3", 1)
+
+    def test_exponential_within_jittered_envelope(self):
+        config = SupervisorConfig(backoff_base=0.1, backoff_cap=10.0)
+        for attempt in (1, 2, 3):
+            raw = 0.1 * 2 ** (attempt - 1)
+            delay = backoff_delay(config, "t", attempt)
+            assert raw * 0.5 <= delay < raw
+
+    def test_cap_bounds_the_delay(self):
+        config = SupervisorConfig(backoff_base=1.0, backoff_cap=0.2)
+        assert backoff_delay(config, "t", 10) < 0.2
+
+    def test_distinct_tasks_decorrelate(self):
+        config = SupervisorConfig()
+        delays = {backoff_delay(config, f"t{i}", 1) for i in range(8)}
+        assert len(delays) == 8
+
+
+class TestHooks:
+    def test_on_result_fires_for_every_terminal_outcome(self):
+        plan = _plan('{"faults":[{"task":"task1","kind":"raise","times":-1}]}')
+        tasks, labels = _tasks(3)
+        seen = []
+        supervised_map(
+            _body, tasks, labels,
+            SupervisorConfig(jobs=2, retries=0, fault_plan_json=plan, **FAST),
+            on_result=lambda idx, outcome: seen.append((idx, outcome.ok)),
+        )
+        assert sorted(seen) == [(0, True), (1, False), (2, True)]
+
+    def test_telemetry_counters_recorded(self):
+        plan = _plan(
+            '{"faults":['
+            '{"task":"task0","kind":"raise","times":1},'
+            '{"task":"task1","kind":"raise","times":-1}]}'
+        )
+        tasks, labels = _tasks(3)
+        with telemetry.recording() as rec:
+            supervised_map(
+                _body, tasks, labels,
+                SupervisorConfig(jobs=1, retries=1, fault_plan_json=plan, **FAST),
+            )
+        counters = rec.snapshot()["counters"]
+        assert counters["repro_task_retries_total"]['kind="error"'] == 2
+        assert counters["repro_tasks_quarantined_total"]['kind="error"'] == 1
+        assert "repro_task_backoff_seconds" in rec.snapshot()["histograms"]

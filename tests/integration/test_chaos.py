@@ -1,0 +1,114 @@
+"""Chaos acceptance: a deterministic fault storm against the full engine.
+
+The scenario the fault-tolerance work exists for: a plan that makes one
+task raise, one hang past its timeout, one SIGKILL its worker, and one
+fail persistently — injected into a ``jobs=4`` run.  The run must
+complete, quarantine exactly the persistent failure, and deliver every
+surviving cell byte-identical to a fault-free ``jobs=1`` run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_parallel
+
+# Fast deterministic sample (mirrors the determinism suite): E12 and the
+# other timing experiments stay out so fingerprints are comparable.
+SAMPLE = ["E1", "E2", "E4", "E14", "A2"]
+
+STORM = json.dumps({
+    "faults": [
+        {"task": "E1", "kind": "raise", "times": 1},
+        {"task": "E2", "kind": "hang", "times": 1, "hang_seconds": 30},
+        {"task": "E4", "kind": "kill", "times": 1},
+        {"task": "E14", "kind": "raise", "times": -1},
+    ]
+})
+
+
+@pytest.fixture(scope="module")
+def storm_and_reference(tmp_path_factory):
+    """One chaos run (jobs=4) and one fault-free reference run (jobs=1)."""
+    tmp = tmp_path_factory.mktemp("chaos")
+    chaos = run_parallel(
+        SAMPLE, jobs=4, retries=2, task_timeout=4.0,
+        cache_dir=tmp / "chaos-cache", use_cache=False, fault_plan=STORM,
+    )
+    reference = run_parallel(
+        SAMPLE, jobs=1, cache_dir=tmp / "ref-cache", use_cache=False,
+    )
+    return chaos, reference
+
+
+class TestFaultStorm:
+    def test_only_the_persistent_failure_is_quarantined(self, storm_and_reference):
+        chaos, _ = storm_and_reference
+        assert [f.label for f in chaos.failed] == ["E14"]
+        assert chaos.failed[0].kind == "error"
+        assert chaos.failed[0].attempts == 3  # 1 + retries
+        assert set(chaos.results) == set(SAMPLE) - {"E14"}
+
+    def test_survivors_are_byte_identical_to_fault_free_serial(
+        self, storm_and_reference
+    ):
+        chaos, reference = storm_and_reference
+        for eid in chaos.results:
+            assert (
+                chaos.results[eid].fingerprint()
+                == reference.results[eid].fingerprint()
+            ), eid
+            assert (
+                chaos.results[eid].render() == reference.results[eid].render()
+            ), eid
+
+    def test_supervisor_counters_match_the_script(self, storm_and_reference):
+        chaos, _ = storm_and_reference
+        stats = chaos.supervisor
+        assert stats["degraded"] is False
+        assert stats["timeouts"] == 1        # E2's one hang
+        assert stats["rebuilds"] == 2        # E2's timeout kill + E4's SIGKILL
+        assert stats["quarantined"] == 1     # E14
+        # E1 raise + E2 hang + E4 kill retried once each; E14 retried twice.
+        assert stats["retries"] == 5
+
+    def test_recovered_tasks_record_their_attempts(self, storm_and_reference):
+        chaos, _ = storm_and_reference
+        attempts = {r.experiment_id: r.attempts for r in chaos.records}
+        assert attempts == {"E1": 2, "E2": 2, "E4": 2, "A2": 1}
+
+    def test_quarantine_lands_in_the_stats_payload(self, storm_and_reference):
+        chaos, _ = storm_and_reference
+        payload = chaos.stats_payload()
+        assert payload["quarantined"] == 1
+        assert [f["label"] for f in payload["failed"]] == ["E14"]
+        assert payload["supervisor"]["rebuilds"] == 2
+
+
+class TestCorruptionContainment:
+    def test_corrupt_payloads_never_reach_cache_or_results(self, tmp_path):
+        plan = json.dumps(
+            {"faults": [{"task": "E1", "kind": "corrupt", "times": -1}]}
+        )
+        poisoned = run_parallel(
+            ["E1"], jobs=1, retries=0, cache_dir=tmp_path / "cache",
+            fault_plan=plan,
+        )
+        assert [f.kind for f in poisoned.failed] == ["invalid"]
+        assert not poisoned.results
+        # Nothing corrupt was cached: the clean rerun recomputes cold and
+        # the payload is the genuine article.
+        clean = run_parallel(["E1"], jobs=1, cache_dir=tmp_path / "cache")
+        assert clean.cache_hits == 0
+        assert clean.results["E1"].all_passed
+
+    def test_corrupt_then_clean_retry_recovers(self, tmp_path):
+        plan = json.dumps(
+            {"faults": [{"task": "E1", "kind": "corrupt", "times": 1}]}
+        )
+        report = run_parallel(
+            ["E1"], jobs=2, retries=1, cache_dir=tmp_path / "cache",
+            use_cache=False, fault_plan=plan,
+        )
+        assert not report.failed
+        assert report.records[0].attempts == 2
