@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test bench experiments experiments-full docs-check all
+.PHONY: install test bench serve-bench experiments experiments-full docs-check all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Serve soak: in-process server + load generator per case, digest-verified.
+serve-bench:
+	python benchmarks/serve.py --scale quick
 
 experiments:
 	python -m repro.cli all --scale quick

@@ -1,0 +1,17 @@
+"""Thin runner for the serve soak benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve.py --scale full
+
+Runs a real scheduling server over loopback, replays workloads through
+the load generator with digest verification, and writes
+``BENCH_serve.json``.
+"""
+
+import sys
+
+from repro.serve.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

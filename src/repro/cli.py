@@ -19,19 +19,13 @@ from functools import partial
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro import __version__
 from repro.analysis.metrics import collect_metrics
 from repro.core.request import Instance
 from repro.core.simulator import simulate
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.runner import run_parallel
-from repro.policies.baselines import (
-    ClassicLRUPolicy,
-    GreedyUtilizationPolicy,
-    StaticPartitionPolicy,
-)
-from repro.policies.dlru import DeltaLRUPolicy
-from repro.policies.dlru_edf import DeltaLRUEDFPolicy
-from repro.policies.edf import EDFPolicy
+from repro.policies import POLICY_FACTORIES, make_policy
 from repro.reductions.pipeline import solve_online
 from repro.workloads import (
     background_shortterm_instance,
@@ -58,14 +52,9 @@ WORKLOADS: dict[str, Callable[..., Instance]] = {
     "flash-crowd": flash_crowd_workload,
 }
 
-POLICIES = {
-    "dlru": DeltaLRUPolicy,
-    "edf": EDFPolicy,
-    "dlru-edf": DeltaLRUEDFPolicy,
-    "static": lambda delta: StaticPartitionPolicy(),
-    "classic-lru": lambda delta: ClassicLRUPolicy(),
-    "greedy": lambda delta: GreedyUtilizationPolicy(),
-}
+#: named policy constructors live with the policies themselves so the CLI
+#: and the serve layer agree on every name (see repro.policies).
+POLICIES = POLICY_FACTORIES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reconfigurable resource scheduling with variable delay bounds "
             "(Plaxton, Sun, Tiwari, Vin — IPPS 2007): experiments and solvers."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -218,6 +210,70 @@ def _build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
                            help="also write the structured run trace (JSONL) "
                            "to this path")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the online scheduling service (repro-serve-v1 over NDJSON, "
+        "plus /metrics and /healthz over HTTP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="protocol port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--metrics-port", type=int, default=0,
+                         help="HTTP port for /metrics and /healthz "
+                         "(0 = ephemeral, -1 = disabled)")
+    p_serve.add_argument("--n", type=int, default=16, help="total resources")
+    p_serve.add_argument("--delta", type=int, default=4)
+    p_serve.add_argument("--policy", default="dlru-edf",
+                         choices=sorted(POLICIES))
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="independent simulator sessions; colors are "
+                         "hash-routed and capacity is split exactly")
+    p_serve.add_argument("--speed", type=int, default=1,
+                         help="mini-rounds per round")
+    p_serve.add_argument("--engine", default="incremental",
+                         choices=["incremental", "reference"])
+    p_serve.add_argument("--clock", default="client",
+                         choices=["client", "timer"],
+                         help="'client': rounds advance on tick frames "
+                         "(deterministic replay); 'timer': the server ticks "
+                         "itself every --round-interval seconds")
+    p_serve.add_argument("--round-interval", type=float, default=0.05,
+                         metavar="SECONDS")
+    p_serve.add_argument("--max-pending", type=int, default=10_000,
+                         help="per-shard in-flight job bound; submits beyond "
+                         "it are rejected with reason 'backpressure'")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="fsynced JSONL session journal (accepted "
+                         "submits and round results)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound ports as JSON once listening "
+                         "(what the CI smoke leg and tests poll for)")
+    p_serve.add_argument("--quiet", action="store_true")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay a workload against a running server and verify the "
+        "live schedule digests against an offline re-run",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=None,
+                        help="server port (or use --port-file)")
+    p_load.add_argument("--port-file", default=None, metavar="PATH",
+                        help="read the port from a 'repro serve --port-file' "
+                        "JSON document")
+    p_load.add_argument("--workload", default="poisson",
+                        choices=sorted(WORKLOADS))
+    p_load.add_argument("--trace", default=None,
+                        help="replay a saved trace file instead of generating")
+    p_load.add_argument("--delta", type=int, default=4,
+                        help="workload Delta (must match the server's)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--horizon", type=int, default=None)
+    p_load.add_argument("--no-verify", action="store_true",
+                        help="skip the offline digest verification")
+    p_load.add_argument("--json", default=None, metavar="OUT",
+                        help="also write the full report as JSON")
     return parser
 
 
@@ -312,7 +368,7 @@ def _run_metrics_command(args: argparse.Namespace) -> int:
             if args.policy == "pipeline":
                 solve_online(instance, n=args.n, record_events=False)
             else:
-                policy = POLICIES[args.policy](instance.delta)
+                policy = make_policy(args.policy, instance.delta)
                 simulate(instance, policy, n=args.n, record_events=False)
         snapshot = rec.snapshot()
         title = (
@@ -325,6 +381,51 @@ def _run_metrics_command(args: argparse.Namespace) -> int:
         if args.input is None and args.telemetry:
             print(f"\nwrote telemetry trace to {args.telemetry}")
     return 0
+
+
+def _run_loadgen_command(args: argparse.Namespace) -> int:
+    from repro.serve import LoadgenError, run_loadgen
+
+    port = args.port
+    if port is None and args.port_file:
+        try:
+            port = json.loads(Path(args.port_file).read_text())["port"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot read port from {args.port_file}: {exc}")
+    if port is None:
+        raise SystemExit("loadgen needs --port or --port-file")
+    if args.trace is not None:
+        from repro.workloads.trace import load_instance
+
+        instance = load_instance(args.trace)
+    else:
+        instance = _make_instance(args)
+    try:
+        report = run_loadgen(
+            args.host, port, instance, verify=not args.no_verify
+        )
+    except (LoadgenError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"repro loadgen: {exc}")
+    payload = report.as_dict()
+    lat = payload["latency_ms"]
+    print(f"replayed {payload['jobs']} jobs over {payload['rounds']} rounds "
+          f"in {payload['wall_seconds']:.3f}s "
+          f"({payload['jobs_per_second']:.0f} jobs/s, "
+          f"{payload['rounds_per_second']:.0f} rounds/s)")
+    print(f"executed {payload['executed']}, dropped {payload['dropped']}, "
+          f"total cost {payload['total_cost']}")
+    print(f"tick latency: p50 {lat['p50']:.3f}ms  p99 {lat['p99']:.3f}ms  "
+          f"mean {lat['mean']:.3f}ms")
+    if payload["digests_match"] is not None:
+        state = "MATCH" if payload["digests_match"] else "MISMATCH"
+        print(f"digest verification ({report.params.get('shards', '?')} "
+              f"shard(s), offline replay): {state}")
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0 if payload["digests_match"] in (True, None) else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -438,7 +539,7 @@ def _main(argv: Sequence[str] | None = None) -> int:
                 summary = result.ledger.summary()
                 schedule = result.schedule
             else:
-                policy = POLICIES[args.policy](instance.delta)
+                policy = make_policy(args.policy, instance.delta)
                 run = simulate(instance, policy, n=args.n, record_events=False)
                 summary = collect_metrics(run).as_dict()
                 schedule = run.schedule
@@ -496,6 +597,33 @@ def _main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "metrics":
         return _run_metrics_command(args)
+
+    if args.command == "serve":
+        from repro.serve import ServeConfig, serve_forever
+
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            metrics_port=None if args.metrics_port < 0 else args.metrics_port,
+            n=args.n,
+            delta=args.delta,
+            policy=args.policy,
+            shards=args.shards,
+            speed=args.speed,
+            incremental=args.engine == "incremental",
+            clock=args.clock,
+            round_interval=args.round_interval,
+            max_pending=args.max_pending,
+            journal=args.journal,
+            port_file=args.port_file,
+        )
+        try:
+            return serve_forever(config, quiet=args.quiet)
+        except ValueError as exc:
+            raise SystemExit(f"repro serve: {exc}")
+
+    if args.command == "loadgen":
+        return _run_loadgen_command(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -11,6 +11,8 @@ checker, and the round-loop simulator that drives online policies.
 from repro.core.job import Job, Color
 from repro.core.request import Request, RequestSequence, Instance
 from repro.core.ledger import CostLedger
+from repro.core.digest import component_digests, result_digest, result_digests
+from repro.core.live import LiveSequence, LiveSequenceError
 from repro.core.resources import ResourceBank
 from repro.core.pending import PendingPool, PendingStore
 from repro.core.events import (
@@ -38,6 +40,11 @@ __all__ = [
     "RequestSequence",
     "Instance",
     "CostLedger",
+    "LiveSequence",
+    "LiveSequenceError",
+    "component_digests",
+    "result_digest",
+    "result_digests",
     "ResourceBank",
     "PendingPool",
     "PendingStore",

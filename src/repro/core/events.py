@@ -66,6 +66,16 @@ class EventLog:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
+    def since(self, index: int) -> list[Event]:
+        """Events appended at or after position ``index``.
+
+        ``log.since(mark)`` with ``mark = len(log)`` taken before an
+        operation is the O(slice) way to ask "what happened during it" —
+        the serve layer uses this to turn one round's events into a
+        result frame without rescanning the whole log.
+        """
+        return self._events[index:]
+
     def arrivals(self) -> list[ArrivalEvent]:
         return [e for e in self._events if isinstance(e, ArrivalEvent)]
 

@@ -237,6 +237,21 @@ def _decode_color(payload: object) -> Color:
     return payload  # type: ignore[return-value]
 
 
+def encode_color(color: Color) -> object:
+    """JSON-encodable form of a color (tuples become ``{"t": [...]}``).
+
+    Public alias of the codec the trace/schedule serializers use; the
+    serve wire protocol shares it so colors round-trip identically
+    everywhere.
+    """
+    return _encode_color(color)
+
+
+def decode_color(payload: object) -> Color:
+    """Inverse of :func:`encode_color`."""
+    return _decode_color(payload)
+
+
 def sequence_from_arrivals(
     arrivals: Mapping[int, Sequence[tuple[Color, int]]] | Sequence[Sequence[tuple[Color, int]]],
     horizon: int | None = None,

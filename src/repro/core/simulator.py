@@ -211,7 +211,11 @@ class Simulator:
     def step(self, rnd: int) -> None:
         """Run one full round (all four phases, ``speed`` mini-rounds)."""
         if rnd != self.round + 1:
-            raise ValueError(f"rounds must be stepped in order; expected {self.round + 1}, got {rnd}")
+            raise ValueError(
+                f"rounds must be stepped in order; expected {self.round + 1}, "
+                f"got {rnd} (instance {self.instance.name!r}, "
+                f"policy {type(self.policy).__name__})"
+            )
         self.round = rnd
         telem = self.telemetry
         live = telem.enabled

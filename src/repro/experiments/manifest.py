@@ -34,6 +34,8 @@ import os
 from pathlib import Path
 from typing import Mapping
 
+from repro.utils.jsonl import append_jsonl, json_line
+
 __all__ = ["MANIFEST_SCHEMA", "run_key", "RunManifest"]
 
 MANIFEST_SCHEMA = "repro-manifest-v1"
@@ -122,29 +124,22 @@ class RunManifest:
         }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(header, sort_keys=True) + "\n")
+            self.path.write_text(json_line(header))
         except OSError:
             pass
         return completed
 
     def record(self, label: str, cache_key: str, fingerprint: str | None = None) -> None:
-        """Append one completed cell; flushed immediately (crash-safe)."""
-        line = json.dumps(
+        """Append one completed cell; flushed + fsynced immediately (crash-safe)."""
+        append_jsonl(
+            self.path,
             {
                 "kind": "cell",
                 "label": label,
                 "cache_key": cache_key,
                 "fingerprint": fingerprint,
             },
-            sort_keys=True,
         )
-        try:
-            with open(self.path, "a") as fh:
-                fh.write(line + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-        except (OSError, ValueError):
-            pass
 
     def discard(self) -> None:
         """Delete the journal (e.g. after a fully clean completion)."""

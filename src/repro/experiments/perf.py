@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import gc
-import hashlib
 import json
 import os
 import subprocess
@@ -35,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro.core.digest import result_digest
 from repro.core.job import Job
 from repro.core.request import Instance, RequestSequence
 from repro.core.simulator import SimulationResult, Simulator
@@ -150,27 +150,8 @@ def run_case(
     return sim.run()
 
 
-def result_digest(result: SimulationResult) -> str:
-    """SHA-256 over everything the bit-identity contract covers."""
-    payload = {
-        "ledger": result.ledger.summary(),
-        "reconfigs_per_color": {
-            str(k): v for k, v in sorted(
-                result.ledger.reconfigs_per_color.items(), key=lambda kv: str(kv[0])
-            )
-        },
-        "drops_per_color": {
-            str(k): v for k, v in sorted(
-                result.ledger.drops_per_color.items(), key=lambda kv: str(kv[0])
-            )
-        },
-        "schedule": result.schedule.to_json(),
-        "events": [repr(e) for e in result.events],
-        "executed": sorted(result.executed_uids),
-        "dropped": sorted(result.dropped_uids),
-    }
-    blob = json.dumps(payload, sort_keys=True, default=str).encode()
-    return hashlib.sha256(blob).hexdigest()
+# `result_digest` (re-exported above) moved to repro.core.digest so the
+# serve determinism contract hashes runs exactly the way this harness does.
 
 
 def time_case(case: PerfCase, repeats: int) -> tuple[float, float]:

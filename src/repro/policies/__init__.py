@@ -28,6 +28,36 @@ from repro.policies.baselines import (
 )
 from repro.policies.direct import DirectLRUEDFPolicy
 
+#: named constructors shared by the CLI and the serve layer.  Each factory
+#: takes ``(delta, incremental)``; baselines ignore both (they carry no
+#: counter machinery and have a single engine).
+POLICY_FACTORIES = {
+    "dlru": lambda delta, incremental=True: DeltaLRUPolicy(
+        delta, incremental=incremental
+    ),
+    "edf": lambda delta, incremental=True: EDFPolicy(
+        delta, incremental=incremental
+    ),
+    "dlru-edf": lambda delta, incremental=True: DeltaLRUEDFPolicy(
+        delta, incremental=incremental
+    ),
+    "static": lambda delta, incremental=True: StaticPartitionPolicy(),
+    "classic-lru": lambda delta, incremental=True: ClassicLRUPolicy(),
+    "greedy": lambda delta, incremental=True: GreedyUtilizationPolicy(),
+}
+
+
+def make_policy(name: str, delta: int | float, incremental: bool = True):
+    """Construct the named policy for one run (policies are single-use)."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory(delta, incremental)
+
+
 __all__ = [
     "ColorState",
     "SectionThreeState",
@@ -43,4 +73,6 @@ __all__ = [
     "ClassicLRUPolicy",
     "GreedyUtilizationPolicy",
     "DirectLRUEDFPolicy",
+    "POLICY_FACTORIES",
+    "make_policy",
 ]

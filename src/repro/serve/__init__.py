@@ -1,0 +1,53 @@
+"""Online scheduling service: live sessions over the round engine.
+
+The offline stack simulates a frozen request sequence; this package
+serves the same engine as a long-running process.  Jobs stream in over a
+newline-delimited JSON protocol (``repro-serve-v1``,
+:mod:`~repro.serve.protocol`), are routed by color hash across sharded
+live simulator sessions (:mod:`~repro.serve.session` over
+:class:`~repro.core.live.LiveSequence`), and every admitted job is
+scheduled by the exact four-phase round engine — so a live session's run
+digests are reproducible offline, which ``repro loadgen --verify``
+(:mod:`~repro.serve.loadgen`) checks end to end.  The asyncio server
+(:mod:`~repro.serve.server`) also exposes ``/metrics`` and ``/healthz``
+over HTTP via the telemetry layer.
+"""
+
+from repro.serve.loadgen import LoadgenError, LoadgenReport, run_loadgen, verify_offline
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.serve.server import SchedulingServer, ServeConfig, serve_forever
+from repro.serve.session import (
+    AdmissionError,
+    SessionShard,
+    ShardedSession,
+    shard_of,
+    split_capacity,
+)
+
+__all__ = [
+    "PROTOCOL",
+    "AdmissionError",
+    "LoadgenError",
+    "LoadgenReport",
+    "ProtocolError",
+    "SchedulingServer",
+    "ServeConfig",
+    "SessionShard",
+    "ShardedSession",
+    "decode_frame",
+    "encode_frame",
+    "job_from_wire",
+    "job_to_wire",
+    "run_loadgen",
+    "serve_forever",
+    "shard_of",
+    "split_capacity",
+    "verify_offline",
+]

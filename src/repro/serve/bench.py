@@ -1,0 +1,135 @@
+"""The serve soak benchmark: sustained throughput and round latency.
+
+Runs a real :class:`~repro.serve.server.SchedulingServer` (full NDJSON
+protocol over loopback TCP, telemetry on) and replays workloads through
+the load generator, with offline digest verification in every case — a
+benchmark result with ``all_digests_match: false`` is a correctness
+failure, not a slow run.  Writes ``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/serve.py --scale quick
+
+Scales: ``quick`` keeps CI under a few seconds; ``full`` runs longer
+horizons and the full shard ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.serve.loadgen import _replay
+from repro.serve.server import SchedulingServer, ServeConfig
+from repro.workloads import bursty_workload, poisson_workload
+
+__all__ = ["main", "render", "run_bench"]
+
+SCHEMA = "bench-serve-v1"
+
+_GENERATORS = {"poisson": poisson_workload, "bursty": bursty_workload}
+
+#: (name, workload, shards, speed) per scale; n=16 so every shard ladder
+#: entry keeps per-shard capacity divisible by 4 (DeltaLRU-EDF's rule).
+_CASES: dict[str, list[tuple[str, str, int, int]]] = {
+    "quick": [
+        ("poisson-1shard", "poisson", 1, 1),
+        ("poisson-2shard", "poisson", 2, 1),
+        ("bursty-2shard", "bursty", 2, 1),
+    ],
+    "full": [
+        ("poisson-1shard", "poisson", 1, 1),
+        ("poisson-2shard", "poisson", 2, 1),
+        ("poisson-4shard", "poisson", 4, 1),
+        ("poisson-2shard-ds", "poisson", 2, 2),
+        ("bursty-2shard", "bursty", 2, 1),
+        ("bursty-4shard", "bursty", 4, 1),
+    ],
+}
+
+_HORIZONS = {"quick": 192, "full": 1024}
+
+
+async def _run_case(
+    name: str, workload: str, shards: int, speed: int, horizon: int, seed: int
+) -> dict:
+    instance = _GENERATORS[workload](delta=4, seed=seed, horizon=horizon)
+    config = ServeConfig(
+        n=16,
+        delta=4,
+        policy="dlru-edf",
+        shards=shards,
+        speed=speed,
+        metrics_port=None,
+    )
+    server = SchedulingServer(config)
+    await server.start()
+    try:
+        report = await _replay(
+            "127.0.0.1", server.port, instance,
+            verify=True, expected_delta=True,
+        )
+    finally:
+        await server.stop()
+    return {"case": name, "workload": workload, "shards": shards,
+            "speed": speed, "horizon": horizon, **report.as_dict()}
+
+
+def run_bench(scale: str = "quick", seed: int = 0) -> dict:
+    """Run every case of ``scale``; returns the BENCH_serve payload."""
+    if scale not in _CASES:
+        raise ValueError(f"scale must be one of {sorted(_CASES)}, got {scale!r}")
+    cases = []
+    for name, workload, shards, speed in _CASES[scale]:
+        cases.append(asyncio.run(
+            _run_case(name, workload, shards, speed, _HORIZONS[scale], seed)
+        ))
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cases": cases,
+        "all_digests_match": all(c["digests_match"] for c in cases),
+    }
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"serve benchmark ({payload['scale']}, python {payload['python']})",
+        f"{'case':<20} {'jobs/s':>9} {'rounds/s':>9} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'digest':>8}",
+    ]
+    for case in payload["cases"]:
+        lat = case["latency_ms"]
+        lines.append(
+            f"{case['case']:<20} {case['jobs_per_second']:>9.0f} "
+            f"{case['rounds_per_second']:>9.0f} {lat['p50']:>8.3f} "
+            f"{lat['p99']:>8.3f} "
+            f"{'match' if case['digests_match'] else 'MISMATCH':>8}"
+        )
+    lines.append(
+        "all digests match: " + ("yes" if payload["all_digests_match"] else "NO")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick", choices=sorted(_CASES))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    payload = run_bench(scale=args.scale, seed=args.seed)
+    print(render(payload))
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if payload["all_digests_match"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

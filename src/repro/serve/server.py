@@ -1,0 +1,501 @@
+"""The asyncio scheduling server.
+
+One process, one event loop, one :class:`~repro.serve.session.ShardedSession`.
+Clients speak ``repro-serve-v1`` (newline-delimited JSON,
+:mod:`repro.serve.protocol`) on the main port; a second port serves
+``GET /metrics`` (Prometheus text exposition, reusing
+:mod:`repro.telemetry.prom`) and ``GET /healthz``.
+
+Concurrency model: all session mutation happens synchronously inside
+frame handlers on the single event loop — there is no ``await`` between
+admission validation and commit, so a submit batch is atomic even with
+many concurrent clients.  The round clock is either *client-driven*
+(``tick`` frames; the mode every determinism test uses) or a *wall
+timer* (the server ticks itself every ``round_interval`` seconds and
+rejects client ticks with reason ``timer_clock``).
+
+Optional durability: ``journal`` writes one fsynced JSONL record per
+accepted submit batch and per completed round
+(:class:`~repro.utils.jsonl.JsonlJournal`), so an operator can replay a
+crashed session's admitted workload through ``repro loadgen``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Sequence
+
+from repro.core.job import Job
+from repro.policies import make_policy
+from repro.serve.protocol import (
+    CLIENT_FRAMES,
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.serve.session import AdmissionError, ShardedSession
+from repro.telemetry.prom import render_prometheus
+from repro.telemetry.recorder import Recorder, TelemetryRecorder
+from repro.utils.jsonl import JsonlJournal
+
+__all__ = ["ServeConfig", "SchedulingServer", "serve_forever"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` configures."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in --port-file
+    metrics_port: int | None = 0  # None = no HTTP listener
+    n: int = 16
+    delta: int | float = 4
+    policy: str = "dlru-edf"
+    shards: int = 1
+    speed: int = 1
+    incremental: bool = True
+    clock: str = "client"  # "client" | "timer"
+    round_interval: float = 0.05  # timer clock only
+    max_pending: int = 10_000
+    max_batch: int = 10_000
+    journal: str | None = None
+    port_file: str | None = None
+    name: str = "serve"
+
+    def __post_init__(self) -> None:
+        if self.clock not in ("client", "timer"):
+            raise ValueError(
+                f"clock must be 'client' or 'timer', got {self.clock!r}"
+            )
+        if self.clock == "timer" and self.round_interval <= 0:
+            raise ValueError(
+                f"round_interval must be positive, got {self.round_interval}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+class SchedulingServer:
+    """The serve-layer state machine plus its two asyncio listeners."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        telemetry: Recorder | None = None,
+    ):
+        self.config = config
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryRecorder()
+        )
+        self.session = ShardedSession(
+            n=config.n,
+            delta=config.delta,
+            policy_factory=lambda: make_policy(
+                config.policy, config.delta, incremental=config.incremental
+            ),
+            shards=config.shards,
+            speed=config.speed,
+            incremental=config.incremental,
+            max_pending=config.max_pending,
+            telemetry=self.telemetry,
+            name=config.name,
+        )
+        self.journal = (
+            JsonlJournal(config.journal, truncate=True)
+            if config.journal
+            else None
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._timer_task: asyncio.Task | None = None
+        self._subscribers: list[asyncio.StreamWriter] = []
+        self._stopping = asyncio.Event()
+        self.port: int | None = None
+        self.metrics_port: int | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both listeners, write the port file, start the timer."""
+        cfg = self.config
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            cfg.host,
+            cfg.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if cfg.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_http, cfg.host, cfg.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
+        if cfg.port_file:
+            Path(cfg.port_file).write_text(
+                json.dumps(
+                    {"port": self.port, "metrics_port": self.metrics_port}
+                )
+                + "\n"
+            )
+        if cfg.clock == "timer":
+            self._timer_task = asyncio.get_running_loop().create_task(
+                self._timer_clock()
+            )
+        if self.journal is not None:
+            self.journal.append({
+                "kind": "header",
+                "schema": "repro-serve-journal-v1",
+                "proto": PROTOCOL,
+                **self._session_params(),
+            })
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_until_stopped` to wind down (signal-safe)."""
+        self._stopping.set()
+
+    async def stop(self) -> None:
+        """Close listeners, the timer, and every open client connection."""
+        self._stopping.set()
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            try:
+                await self._timer_task
+            except asyncio.CancelledError:
+                pass
+            self._timer_task = None
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = self._metrics_server = None
+        self.session.close()
+        if self.journal is not None:
+            self.journal.append({"kind": "shutdown", "round": self.session.round})
+            self.journal.close()
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`request_stop` (e.g. from a signal handler)."""
+        await self._stopping.wait()
+        await self.stop()
+
+    # -- the round clock -------------------------------------------------------
+
+    def _tick_rounds(self, rounds: int) -> list[dict]:
+        """Advance the session ``rounds`` times; returns the result frames."""
+        telem = self.telemetry
+        frames = []
+        for _ in range(rounds):
+            t0 = perf_counter()
+            result = self.session.tick()
+            if telem.enabled:
+                telem.observe(
+                    "repro_serve_round_seconds", perf_counter() - t0
+                )
+                telem.count("repro_serve_ticks_total")
+                telem.gauge("repro_serve_pending_jobs", result["pending"])
+            if self.journal is not None:
+                self.journal.append({"kind": "round", **result})
+            frames.append({"type": "result", **result})
+        return frames
+
+    async def _timer_clock(self) -> None:
+        cfg = self.config
+        try:
+            while True:
+                await asyncio.sleep(cfg.round_interval)
+                for frame in self._tick_rounds(1):
+                    self._broadcast(frame)
+        except asyncio.CancelledError:
+            raise
+
+    def _broadcast(self, frame: dict) -> None:
+        payload = encode_frame(frame)
+        alive = []
+        for writer in self._subscribers:
+            if writer.is_closing():
+                continue
+            writer.write(payload)
+            alive.append(writer)
+        self._subscribers = alive
+
+    # -- the NDJSON protocol ---------------------------------------------------
+
+    def _session_params(self) -> dict:
+        cfg = self.config
+        return {
+            "n": cfg.n,
+            "shards": self.session.num_shards,
+            "shard_capacity": list(self.session.capacities),
+            "delta": cfg.delta,
+            "speed": cfg.speed,
+            "policy": cfg.policy,
+            "engine": "incremental" if cfg.incremental else "reference",
+            "clock": cfg.clock,
+            "max_pending": cfg.max_pending,
+            "max_batch": cfg.max_batch,
+        }
+
+    def _handle_frame(
+        self, frame: dict, writer: asyncio.StreamWriter
+    ) -> tuple[list[dict], bool]:
+        """Process one frame; returns (replies, keep_connection_open).
+
+        Synchronous on purpose: no await may separate validation from
+        commit, or concurrent clients could interleave half-admitted
+        batches.
+        """
+        kind = frame["type"]
+        telem = self.telemetry
+        if telem.enabled:
+            telem.count("repro_serve_frames_total", kind=kind)
+        if kind not in CLIENT_FRAMES:
+            return [{
+                "type": "error",
+                "code": "bad_frame",
+                "message": f"unknown frame type {kind!r}",
+            }], True
+
+        if kind == "hello":
+            if frame.get("proto") not in (None, PROTOCOL):
+                return [{
+                    "type": "error",
+                    "code": "bad_proto",
+                    "message": f"server speaks {PROTOCOL}",
+                }], False
+            if frame.get("subscribe"):
+                self._subscribers.append(writer)
+            return [{
+                "type": "welcome",
+                "proto": PROTOCOL,
+                "round": self.session.round,
+                **self._session_params(),
+            }], True
+
+        if kind == "submit":
+            return [self._handle_submit(frame)], True
+
+        if kind == "tick":
+            if self.config.clock != "client":
+                return [{
+                    "type": "reject",
+                    "id": frame.get("id"),
+                    "reason": "timer_clock",
+                    "message": "this server owns its round clock; "
+                    "ticks are rejected",
+                }], True
+            rounds = frame.get("rounds", 1)
+            if (
+                isinstance(rounds, bool)
+                or not isinstance(rounds, int)
+                or not 1 <= rounds <= 100_000
+            ):
+                return [{
+                    "type": "error",
+                    "code": "bad_frame",
+                    "message": "tick 'rounds' must be an integer in [1, 100000]",
+                }], True
+            return self._tick_rounds(rounds), True
+
+        if kind == "stats":
+            return [{"type": "stats", **self.session.stats()}], True
+
+        # bye
+        return [{"type": "bye"}], False
+
+    def _handle_submit(self, frame: dict) -> dict:
+        telem = self.telemetry
+        submit_id = frame.get("id")
+        wire_jobs = frame.get("jobs")
+        if not isinstance(wire_jobs, list):
+            return {
+                "type": "reject",
+                "id": submit_id,
+                "reason": "bad_frame",
+                "message": "submit needs a 'jobs' array",
+            }
+        if len(wire_jobs) > self.config.max_batch:
+            return {
+                "type": "reject",
+                "id": submit_id,
+                "reason": "backpressure",
+                "message": f"batch of {len(wire_jobs)} exceeds max_batch="
+                f"{self.config.max_batch}; split it",
+            }
+        default_arrival = self.session.round
+        try:
+            jobs: Sequence[Job] = [
+                job_from_wire(w, default_arrival) for w in wire_jobs
+            ]
+        except ProtocolError as exc:
+            return {
+                "type": "reject",
+                "id": submit_id,
+                "reason": exc.code,
+                "message": str(exc),
+            }
+        try:
+            self.session.submit(jobs)
+        except AdmissionError as exc:
+            if telem.enabled:
+                telem.count(
+                    "repro_serve_rejects_total", reason=exc.reason
+                )
+            return {
+                "type": "reject",
+                "id": submit_id,
+                "reason": exc.reason,
+                "message": str(exc),
+                "index": exc.index,
+            }
+        if telem.enabled:
+            telem.count("repro_serve_jobs_total", len(jobs))
+        if self.journal is not None:
+            self.journal.append({
+                "kind": "submit",
+                "round": self.session.round,
+                "jobs": [job_to_wire(job) for job in jobs],
+            })
+        return {
+            "type": "accept",
+            "id": submit_id,
+            "count": len(jobs),
+            "round": self.session.round,
+        }
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        telem = self.telemetry
+        if telem.enabled:
+            telem.count("repro_serve_connections_total")
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as exc:
+                    writer.write(encode_frame({
+                        "type": "error",
+                        "code": exc.code,
+                        "message": str(exc),
+                    }))
+                    await writer.drain()
+                    continue
+                replies, keep_open = self._handle_frame(frame, writer)
+                for reply in replies:
+                    writer.write(encode_frame(reply))
+                await writer.drain()
+                if not keep_open:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            self._subscribers = [
+                w for w in self._subscribers if w is not writer
+            ]
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- the HTTP sidecar ------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; we never need them
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if path.split("?")[0] == "/metrics":
+                body = render_prometheus(self.telemetry.snapshot()).encode()
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                status = "200 OK"
+            elif path.split("?")[0] == "/healthz":
+                body = (json.dumps({
+                    "status": "ok",
+                    "proto": PROTOCOL,
+                    "round": self.session.round,
+                    "pending": self.session.pending,
+                    "shards": self.session.num_shards,
+                }) + "\n").encode()
+                ctype = "application/json"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                ctype = "text/plain"
+                status = "404 Not Found"
+            writer.write(
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _serve_async(config: ServeConfig, quiet: bool = False) -> int:
+    server = SchedulingServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    if not quiet:
+        print(
+            f"repro serve: {PROTOCOL} on {config.host}:{server.port}"
+            + (
+                f", metrics on http://{config.host}:{server.metrics_port}/metrics"
+                if server.metrics_port is not None
+                else ""
+            )
+            + f" ({config.policy}, n={config.n}, shards={config.shards}, "
+            f"clock={config.clock})",
+            flush=True,
+        )
+    await server.serve_until_stopped()
+    if not quiet:
+        print("repro serve: stopped", flush=True)
+    return 0
+
+
+def serve_forever(config: ServeConfig, quiet: bool = False) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    return asyncio.run(_serve_async(config, quiet=quiet))

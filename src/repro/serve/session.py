@@ -1,0 +1,374 @@
+"""Sharded live scheduling sessions.
+
+One session = ``S`` independent simulators, each owning a
+:class:`~repro.core.live.LiveSequence` and a slice of the ``n``
+resources.  Jobs are routed to shards by hashing their color, so every
+color's full pending pool lives on exactly one shard and the per-color
+semantics (delay bound ``D_l``, counter machinery, EDF order within a
+color) are untouched by sharding.  The capacity split is exact: shares
+are computed with :class:`fractions.Fraction` largest-remainder, never
+binary floats.
+
+Determinism: the shard of a color depends only on the color and the
+shard count (framed blake2b, no process hash seed), and each shard is a
+stock :class:`~repro.core.simulator.Simulator`.  Replaying the same
+submissions in the same order therefore reproduces every shard's run
+digest bit-for-bit — which is what ``repro loadgen --verify`` checks
+against an offline :meth:`Simulator.run`.
+
+Admission is atomic per submit batch: every job is validated against
+every rule (round staleness, delay-bound consistency including within
+the batch, per-shard backpressure, duplicate uids) before any state
+changes, so a rejected batch leaves the session untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.core.digest import component_digests
+from repro.core.events import DropEvent, ExecutionEvent, ReconfigEvent
+from repro.core.job import Color, Job
+from repro.core.live import LiveSequence, LiveSequenceError
+from repro.core.simulator import Policy, Simulator
+from repro.policies.dlru_edf import _exact_fraction
+from repro.telemetry.recorder import Recorder
+
+__all__ = [
+    "AdmissionError",
+    "SessionShard",
+    "ShardedSession",
+    "shard_of",
+    "split_capacity",
+]
+
+
+def shard_of(color: Color, shards: int) -> int:
+    """The shard owning ``color`` (deterministic, hash-seed independent).
+
+    Uses the same type+repr framing as the experiment seed derivation so
+    ``1`` and ``"1"`` cannot collide, hashed with blake2b — stable
+    across processes, platforms, and ``PYTHONHASHSEED``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    label = f"{type(color).__name__}:{color!r}".encode("utf-8")
+    word = hashlib.blake2b(label, digest_size=8).digest()
+    return int.from_bytes(word, "big") % shards
+
+
+def split_capacity(
+    n: int,
+    shards: int,
+    weights: Sequence[int | float] | None = None,
+) -> list[int]:
+    """Split ``n`` resources over ``shards`` exactly (largest remainder).
+
+    ``weights`` (default: uniform) are read exactly — floats via their
+    decimal literal, like the policy capacity splits — so ``[0.3, 0.7]``
+    of 10 is ``[3, 7]``, never off-by-one from binary rounding.  Every
+    shard must end up with at least one resource; remainder ties go to
+    lower shard ids (deterministic).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if n < shards:
+        raise ValueError(
+            f"cannot split {n} resources over {shards} shards: "
+            f"every shard needs at least one resource"
+        )
+    if weights is None:
+        weights = [1] * shards
+    if len(weights) != shards:
+        raise ValueError(f"expected {shards} weights, got {len(weights)}")
+    exact = [_exact_fraction(w) for w in weights]
+    if any(w <= 0 for w in exact):
+        raise ValueError("shard weights must be positive")
+    total = sum(exact)
+    shares = [Fraction(n) * w / total for w in exact]
+    floors = [int(s) for s in shares]  # Fraction floors toward zero; s >= 0
+    remainders = [s - f for s, f in zip(shares, floors)]
+    leftover = n - sum(floors)
+    # Largest remainder first; ties broken by shard id for determinism.
+    order = sorted(range(shards), key=lambda i: (-remainders[i], i))
+    for i in order[:leftover]:
+        floors[i] += 1
+    if min(floors) < 1:
+        raise ValueError(
+            f"weights {list(weights)!r} starve a shard of {n} resources: "
+            f"split came out as {floors}"
+        )
+    return floors
+
+
+class AdmissionError(ValueError):
+    """A rejected submit batch; ``reason`` is machine-readable.
+
+    ``index`` points at the offending job's position within the batch
+    (None when the violation is batch-wide, e.g. backpressure).
+    """
+
+    def __init__(self, reason: str, message: str, index: int | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.index = index
+
+
+class SessionShard:
+    """One shard: a live sequence driving one stock simulator."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        n: int,
+        delta: int | float,
+        policy: Policy,
+        speed: int = 1,
+        incremental: bool = True,
+        telemetry: Recorder | None = None,
+        name: str = "serve",
+    ):
+        self.shard_id = shard_id
+        self.live = LiveSequence()
+        self.instance = self.live.as_instance(
+            delta, name=f"{name}/shard{shard_id}"
+        )
+        try:
+            self.sim = Simulator(
+                self.instance,
+                policy,
+                n,
+                speed=speed,
+                record_events=True,
+                incremental=incremental,
+                telemetry=telemetry,
+            )
+        except ValueError as exc:
+            # Policies with structural capacity requirements (DeltaLRU needs
+            # even n, DeltaLRU-EDF needs n % 4 == 0) reject some splits;
+            # say which shard's slice was the problem.
+            raise ValueError(
+                f"shard {shard_id} got capacity {n}, which "
+                f"{type(policy).__name__} rejects: {exc}; adjust n, the "
+                f"shard count, or the shard weights"
+            ) from None
+
+    @property
+    def n(self) -> int:
+        return self.sim.n
+
+    @property
+    def pending(self) -> int:
+        """Jobs pending inside the simulator plus jobs buffered ahead."""
+        return self.sim.pending.pending_count() + self.live.buffered
+
+    def step(self, rnd: int) -> dict:
+        """Run one round; returns this shard's slice of the result frame."""
+        mark = len(self.sim.events)
+        self.sim.step(rnd)
+        executed: list[int] = []
+        dropped: list[int] = []
+        recolored = 0
+        for event in self.sim.events.since(mark):
+            if isinstance(event, ExecutionEvent):
+                executed.append(event.job.uid)
+            elif isinstance(event, DropEvent):
+                dropped.append(event.job.uid)
+            elif isinstance(event, ReconfigEvent):
+                recolored += 1
+        ledger = self.sim.ledger
+        cost = (
+            ledger.reconfigs_per_round[rnd] * ledger.delta
+            + ledger.drops_per_round[rnd]
+        )
+        return {
+            "executed": sorted(executed),
+            "dropped": sorted(dropped),
+            "recolored": recolored,
+            "cost": cost,
+        }
+
+    def digests(self) -> dict[str, str]:
+        """Component digests of the run so far (the stats frame payload)."""
+        sim = self.sim
+        return component_digests(
+            sim.ledger,
+            sim.schedule,
+            sim.events,
+            sim.executed_uids,
+            sim.dropped_uids,
+        )
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "n": self.n,
+            "round": self.live.next_round - 1,
+            "jobs": self.live.num_jobs,
+            "pending": self.pending,
+            "ledger": self.sim.ledger.summary(),
+            "digests": self.digests(),
+        }
+
+
+class ShardedSession:
+    """``S`` lockstep shards behind one admission gate and round clock.
+
+    ``policy_factory`` is called once per shard (policies carry run
+    state, so shards must not share one instance).  ``max_pending``
+    bounds each shard's in-flight jobs (pending in the simulator plus
+    buffered for future rounds); a submit that would push any target
+    shard over the bound is rejected whole with reason ``backpressure``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delta: int | float,
+        policy_factory: Callable[[], Policy],
+        shards: int = 1,
+        speed: int = 1,
+        incremental: bool = True,
+        max_pending: int = 10_000,
+        weights: Sequence[int | float] | None = None,
+        telemetry: Recorder | None = None,
+        name: str = "serve",
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.n = n
+        self.delta = delta
+        self.speed = speed
+        self.incremental = incremental
+        self.max_pending = max_pending
+        self.capacities = split_capacity(n, shards, weights)
+        self.shards = [
+            SessionShard(
+                i,
+                cap,
+                delta,
+                policy_factory(),
+                speed=speed,
+                incremental=incremental,
+                telemetry=telemetry,
+                name=name,
+            )
+            for i, cap in enumerate(self.capacities)
+        ]
+        self._seen_uids: set[int] = set()
+        self._closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def round(self) -> int:
+        """The next round to tick (all shards advance in lockstep)."""
+        return self.shards[0].live.next_round
+
+    @property
+    def pending(self) -> int:
+        return sum(shard.pending for shard in self.shards)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shard_for(self, color: Color) -> SessionShard:
+        return self.shards[shard_of(color, len(self.shards))]
+
+    def submit(self, jobs: Sequence[Job]) -> None:
+        """Admit a batch atomically; raises :class:`AdmissionError`.
+
+        Either every job is accepted (and buffered on its color's shard,
+        in batch order) or none is — partial admission would make replay
+        verification impossible.
+        """
+        if self._closed:
+            raise AdmissionError("closed", "session is closed")
+        # Pass 1: validate everything without touching any state.
+        bounds: dict[Color, int] = {}
+        load: dict[int, int] = {}
+        batch_uids: set[int] = set()
+        for index, job in enumerate(jobs):
+            shard = self.shards[shard_of(job.color, len(self.shards))]
+            try:
+                shard.live.check(job.color, job.arrival, job.delay_bound)
+            except LiveSequenceError as exc:
+                raise AdmissionError(
+                    exc.reason, f"job {job.uid}: {exc}", index
+                ) from None
+            prev = bounds.setdefault(job.color, job.delay_bound)
+            if prev != job.delay_bound:
+                raise AdmissionError(
+                    "inconsistent_delay_bound",
+                    f"job {job.uid}: color {job.color!r} appears in this "
+                    f"batch with delay bounds {prev} and {job.delay_bound}",
+                    index,
+                )
+            if job.uid in self._seen_uids or job.uid in batch_uids:
+                raise AdmissionError(
+                    "duplicate_uid",
+                    f"job uid {job.uid} was already submitted",
+                    index,
+                )
+            batch_uids.add(job.uid)
+            load[shard.shard_id] = load.get(shard.shard_id, 0) + 1
+        for shard_id, extra in load.items():
+            shard = self.shards[shard_id]
+            if shard.pending + extra > self.max_pending:
+                raise AdmissionError(
+                    "backpressure",
+                    f"shard {shard_id} would hold {shard.pending + extra} "
+                    f"in-flight jobs (limit {self.max_pending}); retry after "
+                    f"ticking",
+                )
+        # Pass 2: commit, preserving batch order within each shard.
+        for job in jobs:
+            self.shard_for(job.color).live.push(job)
+        self._seen_uids.update(batch_uids)
+
+    def tick(self) -> dict:
+        """Advance every shard one round; returns the merged result frame."""
+        rnd = self.round
+        executed: list[int] = []
+        dropped: list[int] = []
+        recolored = 0
+        cost: int | float = 0
+        for shard in self.shards:
+            part = shard.step(rnd)
+            executed.extend(part["executed"])
+            dropped.extend(part["dropped"])
+            recolored += part["recolored"]
+            cost += part["cost"]
+        return {
+            "round": rnd,
+            "executed": sorted(executed),
+            "dropped": sorted(dropped),
+            "recolored": recolored,
+            "cost": cost,
+            "pending": self.pending,
+        }
+
+    def drain_horizon(self) -> int:
+        """First round by which no shard has any job left in flight."""
+        return max(shard.live.drain_horizon() for shard in self.shards)
+
+    def stats(self) -> dict:
+        return {
+            "round": self.round - 1,
+            "shards": [shard.stats() for shard in self.shards],
+            "pending": self.pending,
+            "jobs": sum(s.live.num_jobs for s in self.shards),
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        for shard in self.shards:
+            shard.live.close()

@@ -30,6 +30,13 @@ HELP: dict[str, str] = {
     "repro_desired_cache_misses_total": "Desired-list cache misses (ranking walked).",
     "repro_runner_tasks_total": "Runner tasks executed, by cache outcome.",
     "repro_task_seconds": "Wall time per runner task.",
+    "repro_serve_connections_total": "Protocol connections accepted by the serve layer.",
+    "repro_serve_frames_total": "Client frames processed, by frame type.",
+    "repro_serve_jobs_total": "Jobs admitted by the serve layer.",
+    "repro_serve_rejects_total": "Submit batches rejected, by reason.",
+    "repro_serve_ticks_total": "Rounds advanced by the serve layer's clock.",
+    "repro_serve_round_seconds": "Wall time per live round (all shards).",
+    "repro_serve_pending_jobs": "In-flight jobs after the last live round.",
 }
 
 

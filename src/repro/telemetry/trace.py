@@ -16,10 +16,10 @@ Records are emitted in round order and contain only deterministic values
 
 from __future__ import annotations
 
-import json
 from typing import IO, Mapping
 
 from repro.core.ledger import CostLedger
+from repro.utils.jsonl import json_line
 
 TRACE_SCHEMA = "repro-trace-v1"
 
@@ -57,8 +57,7 @@ class TraceWriter:
 
     def emit(self, record: Mapping) -> None:
         """Write one record (a flat JSON-able mapping) as a JSON line."""
-        self._fh.write(json.dumps(record, sort_keys=True, default=str))
-        self._fh.write("\n")
+        self._fh.write(json_line(record))
         self.records_written += 1
 
     def header(self, **fields: object) -> None:

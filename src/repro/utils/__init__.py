@@ -1,0 +1,10 @@
+"""Small dependency-free utilities shared across subsystems.
+
+- :mod:`repro.utils.jsonl` — the one JSONL encoder and fsync-append
+  journal writer used by the experiment manifest, the telemetry trace
+  writer, and the serve session journal.
+"""
+
+from repro.utils.jsonl import JsonlJournal, append_jsonl, json_line
+
+__all__ = ["JsonlJournal", "append_jsonl", "json_line"]

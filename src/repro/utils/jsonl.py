@@ -1,0 +1,102 @@
+"""JSONL encoding and crash-safe append journals.
+
+Three subsystems write newline-delimited JSON with the same durability
+story — the run manifest (:mod:`repro.experiments.manifest`), the
+telemetry trace writer (:mod:`repro.telemetry.trace`), and the serve
+session journal (:mod:`repro.serve.server`).  This module is the single
+implementation they share:
+
+- :func:`json_line` — the canonical one-record encoding (sorted keys,
+  ``default=str``, trailing newline), so every JSONL artifact in the
+  repo is diffable with every other;
+- :func:`append_jsonl` — one-shot open/append/flush/fsync of a single
+  record: a SIGKILL between calls loses at most the final line.
+  Best-effort like the result cache: an unwritable path returns False
+  instead of failing the caller;
+- :class:`JsonlJournal` — the open-handle variant for long-lived
+  writers (one fsync per record without re-opening the file each time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["JsonlJournal", "append_jsonl", "json_line"]
+
+
+def json_line(record: Mapping) -> str:
+    """Encode one record as a JSON line (sorted keys, newline-terminated)."""
+    return json.dumps(record, sort_keys=True, default=str) + "\n"
+
+
+def append_jsonl(path: str | os.PathLike, record: Mapping) -> bool:
+    """Append one record to ``path`` with flush + fsync; True on success.
+
+    The open-per-record shape is what a checkpoint journal wants: there
+    is no handle to leak across forks or crashes, and the fsync bounds
+    data loss to the line being written when the process dies.
+    """
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json_line(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+    except (OSError, ValueError):
+        return False
+
+
+class JsonlJournal:
+    """An append-only JSONL journal with flush + fsync per record.
+
+    The long-lived counterpart of :func:`append_jsonl`: the file handle
+    stays open (one ``write``/``flush``/``fsync`` per record, no
+    re-open), which is what a server emitting one record per round
+    needs.  Writes are best-effort: a failed append flips
+    :attr:`healthy` to False and returns False, it never raises into
+    the caller's hot path.
+    """
+
+    def __init__(self, path: str | os.PathLike, truncate: bool = False):
+        self.path = Path(path)
+        self.records_written = 0
+        self.healthy = True
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(
+                self.path, "w" if truncate else "a", encoding="utf-8"
+            )
+        except OSError:
+            self._fh = None
+            self.healthy = False
+
+    def append(self, record: Mapping) -> bool:
+        """Write one record durably; False (and unhealthy) on failure."""
+        if self._fh is None:
+            return False
+        try:
+            self._fh.write(json_line(record))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.records_written += 1
+            return True
+        except (OSError, ValueError):
+            self.healthy = False
+            return False
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "JsonlJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -59,6 +59,41 @@ class TestSpeedThree:
         assert minis == {0, 1, 2}
 
 
+class TestStepOrderGuard:
+    """Out-of-order steps must fail with an actionable message."""
+
+    def make_sim(self):
+        inst = Instance(
+            RequestSequence([J(0, 0, 2)]), delta=1, name="guard-check"
+        )
+        return Simulator(inst, Pin([0]), n=1)
+
+    def test_skipping_a_round_raises(self):
+        sim = self.make_sim()
+        sim.step(0)
+        with pytest.raises(ValueError):
+            sim.step(2)
+
+    def test_repeating_a_round_raises(self):
+        sim = self.make_sim()
+        sim.step(0)
+        with pytest.raises(ValueError):
+            sim.step(0)
+
+    def test_message_names_rounds_instance_and_policy(self):
+        # A live server drives many simulators concurrently; the guard
+        # message must say *which* run went out of order.
+        sim = self.make_sim()
+        sim.step(0)
+        with pytest.raises(ValueError) as err:
+            sim.step(5)
+        text = str(err.value)
+        assert "expected 1" in text
+        assert "got 5" in text
+        assert "'guard-check'" in text
+        assert "Pin" in text
+
+
 class TestLedgerViews:
     def test_result_cost_properties(self):
         inst = Instance(RequestSequence([J(0, 0, 1), J(1, 0, 1)]), delta=2)

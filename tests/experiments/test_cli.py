@@ -52,6 +52,31 @@ class TestSolve:
         ]) == 0
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+        from repro import __version__
+
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_matches_package_metadata(self):
+        # pyproject.toml pins the same string; drift would ship a CLI that
+        # reports a different version than pip shows.
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+
+        pyproject = (
+            Path(__file__).resolve().parents[2] / "pyproject.toml"
+        ).read_text()
+        match = re.search(r'^version = "([^"]+)"', pyproject, re.MULTILINE)
+        assert match is not None
+        assert match.group(1) == __version__
+
+
 class TestArgumentValidation:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

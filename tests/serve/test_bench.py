@@ -1,0 +1,34 @@
+"""The serve benchmark harness: one tiny case end to end, plus rendering."""
+
+import asyncio
+
+from repro.serve.bench import SCHEMA, _run_case, render
+
+
+class TestBenchCase:
+    def test_one_tiny_case_end_to_end(self):
+        case = asyncio.run(
+            _run_case("tiny", "poisson", 2, 1, horizon=48, seed=0)
+        )
+        assert case["digests_match"] is True
+        assert case["jobs"] > 0
+        assert case["rounds"] >= 48
+        assert case["jobs_per_second"] > 0
+        assert case["latency_ms"]["p99"] >= case["latency_ms"]["p50"]
+
+    def test_render_flags_status(self):
+        payload = {
+            "schema": SCHEMA,
+            "scale": "quick",
+            "python": "3.11",
+            "cases": [{
+                "case": "x", "jobs_per_second": 1000.0,
+                "rounds_per_second": 300.0,
+                "latency_ms": {"p50": 0.1, "p99": 0.4},
+                "digests_match": True,
+            }],
+            "all_digests_match": True,
+        }
+        text = render(payload)
+        assert "match" in text
+        assert "all digests match: yes" in text

@@ -1,0 +1,379 @@
+"""Integration tests for the asyncio scheduling server.
+
+Everything runs in-process on loopback with ``asyncio.run`` (the suite
+has no async test runner, and doesn't need one).  The determinism class
+is the tentpole contract: a replay through the live server must be
+byte-identical to the offline ``Simulator.run``, for both engines and
+both paper speeds.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import Simulator, result_digests
+from repro.core.job import Job
+from repro.policies import make_policy
+from repro.serve.loadgen import _replay
+from repro.serve.protocol import decode_frame, encode_frame
+from repro.serve.server import SchedulingServer, ServeConfig
+from repro.workloads import poisson_workload
+
+
+class Conn:
+    """One client connection speaking raw frames."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    async def call(self, frame):
+        self.writer.write(encode_frame(frame))
+        await self.writer.drain()
+        return await self.recv()
+
+    async def recv(self):
+        return decode_frame(await self.reader.readline())
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def with_server(test, **config_kw):
+    """Run ``await test(server, conn)`` against a fresh started server."""
+    async def runner():
+        defaults = dict(n=8, delta=1, policy="edf", metrics_port=None)
+        defaults.update(config_kw)
+        server = SchedulingServer(ServeConfig(**defaults))
+        await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        conn = Conn(reader, writer)
+        try:
+            return await test(server, conn)
+        finally:
+            await conn.close()
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+def wire_job(color, bound, arrival=None, uid=None):
+    job = {"color": color, "delay_bound": bound}
+    if arrival is not None:
+        job["arrival"] = arrival
+    if uid is not None:
+        job["uid"] = uid
+    return job
+
+
+class TestHandshake:
+    def test_welcome_carries_session_parameters(self):
+        async def test(server, conn):
+            welcome = await conn.call({"type": "hello", "proto": "repro-serve-v1"})
+            assert welcome["type"] == "welcome"
+            assert welcome["proto"] == "repro-serve-v1"
+            assert welcome["shards"] == 2
+            assert welcome["shard_capacity"] == [4, 4]
+            assert welcome["round"] == 0
+            assert welcome["clock"] == "client"
+            assert welcome["engine"] == "incremental"
+
+        with_server(test, shards=2)
+
+    def test_wrong_proto_is_fatal(self):
+        async def test(server, conn):
+            reply = await conn.call({"type": "hello", "proto": "frob-v9"})
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad_proto"
+            assert await conn.reader.readline() == b""  # server hung up
+
+        with_server(test)
+
+
+class TestSubmitAndTick:
+    def test_accept_then_result(self):
+        async def test(server, conn):
+            reply = await conn.call({
+                "type": "submit", "id": 1,
+                "jobs": [wire_job("a", 1), wire_job("b", 1)],
+            })
+            assert reply["type"] == "accept"
+            assert reply["count"] == 2
+            result = await conn.call({"type": "tick"})
+            assert result["type"] == "result"
+            assert result["round"] == 0
+            assert len(result["executed"]) == 2
+            assert result["pending"] == 0
+
+        with_server(test)
+
+    def test_multi_round_tick_streams_results(self):
+        async def test(server, conn):
+            await conn.call({"type": "submit", "jobs": [wire_job("a", 2)]})
+            conn.writer.write(encode_frame({"type": "tick", "rounds": 3}))
+            await conn.writer.drain()
+            rounds = [(await conn.recv())["round"] for _ in range(3)]
+            assert rounds == [0, 1, 2]
+
+        with_server(test)
+
+    def test_stats_expose_per_shard_digests(self):
+        async def test(server, conn):
+            await conn.call({"type": "submit", "jobs": [wire_job("a", 1)]})
+            await conn.call({"type": "tick"})
+            stats = await conn.call({"type": "stats"})
+            assert stats["type"] == "stats"
+            assert len(stats["shards"]) == 1
+            assert set(stats["shards"][0]["digests"]) == {
+                "ledger", "schedule", "events", "run",
+            }
+
+        with_server(test)
+
+    def test_bye_closes_cleanly(self):
+        async def test(server, conn):
+            reply = await conn.call({"type": "bye"})
+            assert reply["type"] == "bye"
+            assert await conn.reader.readline() == b""
+
+        with_server(test)
+
+
+class TestRejects:
+    def test_stale_round(self):
+        async def test(server, conn):
+            await conn.call({"type": "tick"})
+            reply = await conn.call({
+                "type": "submit", "jobs": [wire_job("a", 1, arrival=0)],
+            })
+            assert reply["type"] == "reject"
+            assert reply["reason"] == "stale_round"
+            assert reply["index"] == 0
+
+        with_server(test)
+
+    def test_backpressure(self):
+        async def test(server, conn):
+            reply = await conn.call({
+                "type": "submit",
+                "jobs": [wire_job("a", 8) for _ in range(3)],
+            })
+            assert reply["reason"] == "backpressure"
+            # The whole batch was refused; a smaller one still fits.
+            reply = await conn.call({
+                "type": "submit", "jobs": [wire_job("a", 8)],
+            })
+            assert reply["type"] == "accept"
+
+        with_server(test, max_pending=2)
+
+    def test_oversized_batch(self):
+        async def test(server, conn):
+            reply = await conn.call({
+                "type": "submit",
+                "jobs": [wire_job(c, 4) for c in range(5)],
+            })
+            assert reply["reason"] == "backpressure"
+
+        with_server(test, max_batch=4)
+
+    def test_duplicate_uid(self):
+        async def test(server, conn):
+            await conn.call({
+                "type": "submit", "jobs": [wire_job("a", 2, uid=400_000)],
+            })
+            reply = await conn.call({
+                "type": "submit", "jobs": [wire_job("b", 2, uid=400_000)],
+            })
+            assert reply["reason"] == "duplicate_uid"
+
+        with_server(test)
+
+    def test_malformed_job(self):
+        async def test(server, conn):
+            reply = await conn.call({
+                "type": "submit", "jobs": [{"color": "a"}],
+            })
+            assert reply["type"] == "reject"
+            assert reply["reason"] == "bad_job"
+
+        with_server(test)
+
+    def test_timer_clock_rejects_ticks(self):
+        async def test(server, conn):
+            reply = await conn.call({"type": "tick"})
+            assert reply["type"] == "reject"
+            assert reply["reason"] == "timer_clock"
+
+        with_server(test, clock="timer", round_interval=60.0)
+
+
+class TestProtocolErrors:
+    def test_bad_json_keeps_connection_alive(self):
+        async def test(server, conn):
+            conn.writer.write(b"{nope\n")
+            await conn.writer.drain()
+            error = await conn.recv()
+            assert error["type"] == "error"
+            assert error["code"] == "bad_json"
+            welcome = await conn.call({"type": "hello"})
+            assert welcome["type"] == "welcome"
+
+        with_server(test)
+
+    def test_unknown_frame_type(self):
+        async def test(server, conn):
+            error = await conn.call({"type": "frobnicate"})
+            assert error["type"] == "error"
+            assert error["code"] == "bad_frame"
+
+        with_server(test)
+
+
+class TestTimerClock:
+    def test_timer_broadcasts_results_to_subscribers(self):
+        async def test(server, conn):
+            welcome = await conn.call({"type": "hello", "subscribe": True})
+            assert welcome["clock"] == "timer"
+            result = await asyncio.wait_for(conn.recv(), timeout=5)
+            assert result["type"] == "result"
+            assert result["round"] == 0
+
+        with_server(test, clock="timer", round_interval=0.01)
+
+
+class TestHttpSidecar:
+    def test_metrics_and_healthz(self):
+        async def test(server, conn):
+            await conn.call({"type": "submit", "jobs": [wire_job("a", 1)]})
+            await conn.call({"type": "tick"})
+
+            async def http_get(path):
+                r, w = await asyncio.open_connection(
+                    "127.0.0.1", server.metrics_port
+                )
+                w.write(f"GET {path} HTTP/1.1\r\n\r\n".encode())
+                await w.drain()
+                data = await r.read()
+                w.close()
+                await w.wait_closed()
+                head, _, body = data.decode().partition("\r\n\r\n")
+                return head.split()[1], body
+
+            status, body = await http_get("/metrics")
+            assert status == "200"
+            assert "repro_serve_ticks_total 1" in body
+            assert "repro_serve_round_seconds_bucket" in body
+            assert "repro_rounds_total 1" in body  # engine metrics flow too
+
+            status, body = await http_get("/healthz")
+            assert status == "200"
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["round"] == 1
+
+            status, _ = await http_get("/nope")
+            assert status == "404"
+
+        with_server(test, metrics_port=0)
+
+
+class TestServerDeterminism:
+    """The tentpole contract: live replay == offline run, bit for bit."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_single_shard_matches_offline_simulator_run(
+        self, incremental, speed
+    ):
+        instance = poisson_workload(delta=4, seed=23, horizon=80)
+        offline = Simulator(
+            instance,
+            make_policy("dlru-edf", 4, incremental=incremental),
+            n=8,
+            speed=speed,
+            incremental=incremental,
+        ).run()
+
+        async def test(server, conn):
+            await conn.close()
+            return await _replay(
+                "127.0.0.1", server.port, instance,
+                verify=True, expected_delta=True,
+            )
+
+        report = with_server(
+            test,
+            n=8, delta=4, policy="dlru-edf", shards=1, speed=speed,
+            incremental=incremental,
+        )
+        assert report.digests_match is True
+        assert report.server_digests[0] == result_digests(offline)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_replay_verifies_offline(self, shards):
+        instance = poisson_workload(delta=4, seed=31, horizon=80)
+
+        async def test(server, conn):
+            await conn.close()
+            return await _replay(
+                "127.0.0.1", server.port, instance,
+                verify=True, expected_delta=True,
+            )
+
+        report = with_server(
+            test, n=16, delta=4, policy="dlru-edf", shards=shards,
+        )
+        assert report.digests_match is True
+        assert len(report.server_digests) == shards
+        assert report.jobs == instance.sequence.num_jobs
+
+    def test_two_identical_servers_agree(self):
+        instance = poisson_workload(delta=2, seed=47, horizon=64)
+
+        def once():
+            async def test(server, conn):
+                await conn.close()
+                return await _replay(
+                    "127.0.0.1", server.port, instance,
+                    verify=False, expected_delta=True,
+                )
+
+            return with_server(
+                test, n=8, delta=2, policy="edf", shards=2,
+            ).server_digests
+
+        assert once() == once()
+
+
+class TestOperationalSurface:
+    def test_port_file_and_journal(self, tmp_path):
+        port_file = tmp_path / "ports.json"
+        journal = tmp_path / "journal.jsonl"
+
+        async def test(server, conn):
+            ports = json.loads(port_file.read_text())
+            assert ports["port"] == server.port
+            assert ports["metrics_port"] == server.metrics_port
+            await conn.call({"type": "submit", "jobs": [wire_job("a", 1)]})
+            await conn.call({"type": "tick"})
+
+        with_server(
+            test,
+            metrics_port=0,
+            port_file=str(port_file),
+            journal=str(journal),
+        )
+        kinds = [
+            json.loads(line)["kind"]
+            for line in journal.read_text().splitlines()
+        ]
+        assert kinds[0] == "header"
+        assert "submit" in kinds
+        assert "round" in kinds
+        assert kinds[-1] == "shutdown"

@@ -1,0 +1,72 @@
+"""Unit tests for the shared fsync-append JSONL utility."""
+
+import json
+
+from repro.utils.jsonl import JsonlJournal, append_jsonl, json_line
+
+
+class TestJsonLine:
+    def test_newline_terminated(self):
+        assert json_line({"a": 1}).endswith("\n")
+
+    def test_keys_sorted(self):
+        line = json_line({"b": 1, "a": 2})
+        assert line.index('"a"') < line.index('"b"')
+
+    def test_non_json_values_stringified(self):
+        line = json_line({"p": object()})
+        assert json.loads(line)["p"].startswith("<object object")
+
+
+class TestAppendJsonl:
+    def test_appends_one_line_per_call(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert append_jsonl(path, {"i": 0})
+        assert append_jsonl(path, {"i": 1})
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert rows == [{"i": 0}, {"i": 1}]
+
+    def test_unwritable_path_returns_false(self, tmp_path):
+        assert append_jsonl(tmp_path / "no" / "dir" / "x.jsonl", {}) is False
+
+
+class TestJsonlJournal:
+    def test_records_survive_close(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JsonlJournal(path) as journal:
+            assert journal.append({"kind": "a"})
+            assert journal.append({"kind": "b"})
+            assert journal.records_written == 2
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["kind"] for r in rows] == ["a", "b"]
+
+    def test_truncate_discards_previous_contents(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"stale": true}\n')
+        with JsonlJournal(path, truncate=True) as journal:
+            journal.append({"fresh": True})
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert rows == [{"fresh": True}]
+
+    def test_append_without_truncate_keeps_previous(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JsonlJournal(path) as journal:
+            journal.append({"run": 1})
+        with JsonlJournal(path) as journal:
+            journal.append({"run": 2})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "j.jsonl"
+        with JsonlJournal(path) as journal:
+            assert journal.append({"x": 1})
+        assert path.exists()
+
+    def test_unwritable_journal_reports_unhealthy(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        # The parent "directory" is a regular file, so the open must fail.
+        journal = JsonlJournal(blocker / "j.jsonl")
+        assert journal.healthy is False
+        assert journal.append({"x": 1}) is False
+        journal.close()
