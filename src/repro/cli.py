@@ -142,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="'pipeline' = VarBatch∘Distribute∘DeltaLRU-EDF (Theorem 3); "
         "others run the named policy directly on the raw sequence",
     )
+    p_solve.add_argument("--engine", default="incremental",
+                         choices=["reference", "incremental", "array"],
+                         help="round engine for direct policies (ignored by "
+                         "the pipeline); all three are digest-identical")
     p_solve.add_argument("--timeline", action="store_true",
                          help="print an ASCII timeline of the schedule")
     p_solve.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
@@ -172,8 +176,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_perf = sub.add_parser(
         "perf",
-        help="time the incremental engine against the reference engine and "
-        "verify bit-identity; writes BENCH_perf.json",
+        help="time the incremental and array engines against the reference "
+        "engine and verify three-way bit-identity; writes BENCH_perf.json",
     )
     p_perf.add_argument("--scale", default="quick", choices=["quick", "full"])
     p_perf.add_argument("--repeats", type=int, default=3)
@@ -232,7 +236,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--speed", type=int, default=1,
                          help="mini-rounds per round")
     p_serve.add_argument("--engine", default="incremental",
-                         choices=["incremental", "reference"])
+                         choices=["reference", "incremental", "array"])
     p_serve.add_argument("--clock", default="client",
                          choices=["client", "timer"],
                          help="'client': rounds advance on tick frames "
@@ -540,7 +544,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
                 schedule = result.schedule
             else:
                 policy = make_policy(args.policy, instance.delta)
-                run = simulate(instance, policy, n=args.n, record_events=False)
+                run = simulate(instance, policy, n=args.n,
+                               record_events=False, engine=args.engine)
                 summary = collect_metrics(run).as_dict()
                 schedule = run.schedule
         if args.telemetry:
@@ -610,7 +615,7 @@ def _main(argv: Sequence[str] | None = None) -> int:
             policy=args.policy,
             shards=args.shards,
             speed=args.speed,
-            incremental=args.engine == "incremental",
+            engine=args.engine,
             clock=args.clock,
             round_interval=args.round_interval,
             max_pending=args.max_pending,

@@ -25,6 +25,8 @@ from repro.core.events import (
 )
 from repro.core.schedule import Schedule, ScheduleError, validate_schedule
 from repro.core.simulator import Simulator, SimulationResult, Policy
+from repro.core.array_engine import ArrayPendingStore, ArraySimulator, ColorBucket
+from repro.core.engine import ENGINES, engine_of, make_simulator, resolve_engine
 from repro.core.notation import (
     BatchField,
     ProblemClass,
@@ -60,6 +62,13 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "Policy",
+    "ArrayPendingStore",
+    "ArraySimulator",
+    "ColorBucket",
+    "ENGINES",
+    "engine_of",
+    "make_simulator",
+    "resolve_engine",
     "BatchField",
     "ProblemClass",
     "classify",

@@ -1,0 +1,792 @@
+"""Array-native round engine: structure-of-arrays pending state.
+
+The object engines (:class:`~repro.core.simulator.Simulator` in either
+``incremental`` mode) keep one heap of ``(sort_key, Job)`` tuples per
+color.  This module replaces that per-job object traffic with flat
+``numpy`` int64 arrays: each color owns a *deadline bucket* — three
+parallel arrays ``(deadline, delay_bound, uid)`` kept sorted by exactly
+the job ranking the heaps pop in — and every phase of the round runs as
+a batch operation over bucket slices:
+
+- **drop** — one ``searchsorted`` per nonidle bucket finds the expired
+  prefix; a store-wide earliest-deadline lower bound skips the scan
+  entirely on rounds where nothing can expire;
+- **arrival** — a round's jobs arrive as presorted per-color *runs*
+  (grouped and ``lexsort``-ed once at construction time for frozen
+  request sequences) and append in bulk, falling back to a merge only
+  when a run is not monotone against the bucket tail;
+- **execution** — per configured nonidle color, the first ``m`` bucket
+  entries pop as one slice onto that color's ``m`` lowest locations.
+
+Everything the digest contract covers is byte-identical to the object
+engines: the bucket order ``(deadline, delay_bound, uid)`` equals
+``Job.sort_key()`` within one color, pool *creation order* (which the
+drop phase iterates in) is mirrored by assigning dense bucket ids on
+first touch, and execution pairs are emitted in ascending-location
+order exactly like the reference scan.  All values leaving the arrays
+are converted to Python ints before they reach schedules, ledgers, or
+uid sets — ``json.dumps(default=str)`` would otherwise serialize
+``np.int64`` as strings and silently break the digests.
+
+The reconfiguration phase reuses :class:`~repro.core.resources.
+ResourceBank` unchanged (its incremental diff is already O(changes) and
+its plan order is part of the bit-identity contract); the vectorized
+deficit kernel below is its array counterpart for dense color spaces
+and is property-tested against the object model.
+
+Telemetry flows through the same :class:`~repro.telemetry.recorder.
+Recorder` hooks as the object engines — the ``NullRecorder`` fast path
+keeps the hot loop free of instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.events import (
+    ArrivalEvent,
+    DropEvent,
+    EventLog,
+    ExecutionEvent,
+    ReconfigEvent,
+)
+from repro.core.job import Color, Job
+from repro.core.ledger import CostLedger
+from repro.core.request import Instance, Request, RequestSequence
+from repro.core.resources import ResourceBank
+from repro.core.schedule import Execution, Schedule
+from repro.core.simulator import Policy, SimulationResult
+from repro.telemetry import TRACE_SCHEMA, ledger_round_delta
+from repro.telemetry.recorder import Recorder, get_recorder
+
+__all__ = [
+    "ArrayPendingStore",
+    "ArraySimulator",
+    "ColorBucket",
+    "expired_prefix",
+    "multiset_missing",
+    "sort_run",
+]
+
+#: Signature of the idle-transition listener a bucket reports to
+#: (identical to :data:`repro.core.pending.IdleListener`).
+IdleListener = Callable[[Color, bool], None]
+
+
+# -- vectorized kernels ----------------------------------------------------------
+#
+# Standalone so the property suite can pit each one against its object-model
+# counterpart on random small states (tests/properties/test_array_kernels.py).
+
+
+def sort_run(
+    dl: np.ndarray, db: np.ndarray, uid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank a batch of same-color jobs: ``(deadline, delay_bound, uid)``.
+
+    Within one color the color component of :meth:`Job.sort_key` is
+    constant, so this lexsort is exactly the heap's pop order — the
+    ranking-update kernel behind every bucket insert.
+    """
+    order = np.lexsort((uid, db, dl))
+    return dl[order], db[order], uid[order]
+
+
+def expired_prefix(dl: np.ndarray, rnd: int) -> int:
+    """Length of the expired prefix of a deadline-sorted array.
+
+    The bucket's primary sort key is the deadline, so the jobs with
+    ``deadline <= rnd`` (the drop phase's ``<=`` contract) form a prefix
+    whose length one ``searchsorted`` finds — the batch counterpart of
+    ``PendingPool.drop_expired``'s pop-until loop.
+    """
+    return int(np.searchsorted(dl, rnd, side="right"))
+
+
+def multiset_missing(
+    want_ids: np.ndarray,
+    want_counts: np.ndarray,
+    have_ids: np.ndarray,
+    have_counts: np.ndarray,
+) -> np.ndarray:
+    """Per-wanted-color deficits of ``want`` over ``have`` (both sorted by id).
+
+    Vectorized counterpart of the deficit loop in
+    :meth:`ResourceBank._diff_incremental` (and of
+    :func:`repro.core.resources.multiset_distance` when summed): for each
+    wanted color id, how many copies must be acquired given the held
+    counts.  Ids must be unique and ascending within each pair.
+    """
+    if len(have_ids) == 0:
+        return np.maximum(want_counts, 0).astype(np.int64)
+    idx = np.searchsorted(have_ids, want_ids)
+    safe = np.minimum(idx, len(have_ids) - 1)
+    matched = np.where(
+        (idx < len(have_ids)) & (have_ids[safe] == want_ids),
+        have_counts[safe],
+        0,
+    )
+    return np.maximum(want_counts - matched, 0).astype(np.int64)
+
+
+# -- per-color deadline buckets --------------------------------------------------
+
+
+class ColorBucket:
+    """Deadline-ordered pending jobs of one color, as parallel int64 arrays.
+
+    The active region ``[head, tail)`` of ``(dl, db, uid)`` is sorted by
+    ``(deadline, delay_bound, uid)`` — within a single color this equals
+    :meth:`Job.sort_key`, so front slices pop exactly the jobs the heap
+    pool would.  Removal (:meth:`remove`) is lazy, like the heap's
+    ``_done`` set: removed uids stay in the arrays and are skipped when
+    the front reaches them.  The lazy set is empty on the hot path, so
+    every batch operation has a pure-slice fast path.
+    """
+
+    __slots__ = ("color", "_dl", "_db", "_uid", "_head", "_tail", "_live",
+                 "_removed", "_listener")
+
+    _INITIAL = 16
+
+    def __init__(self, color: Color, listener: IdleListener | None = None):
+        self.color = color
+        self._dl = np.empty(self._INITIAL, dtype=np.int64)
+        self._db = np.empty(self._INITIAL, dtype=np.int64)
+        self._uid = np.empty(self._INITIAL, dtype=np.int64)
+        self._head = 0
+        self._tail = 0
+        self._live = 0
+        self._removed: set[int] = set()
+        self._listener = listener
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def idle(self) -> bool:
+        """The paper's idleness predicate: no pending jobs of this color."""
+        return self._live == 0
+
+    def __contains__(self, job: Job) -> bool:
+        if job.uid in self._removed:
+            return False
+        active = self._uid[self._head:self._tail]
+        return bool((active == job.uid).any())
+
+    # -- capacity / compaction ----------------------------------------------------
+
+    def _ensure(self, extra: int) -> None:
+        if self._tail + extra <= len(self._dl):
+            return
+        span = self._tail - self._head
+        cap = max(self._INITIAL, len(self._dl))
+        while cap < span + extra:
+            cap *= 2
+        for name in ("_dl", "_db", "_uid"):
+            old = getattr(self, name)
+            fresh = np.empty(cap, dtype=np.int64)
+            fresh[:span] = old[self._head:self._tail]
+            setattr(self, name, fresh)
+        self._head, self._tail = 0, span
+
+    def _reset_if_drained(self) -> None:
+        # live == 0 means every entry left in the active region is a
+        # lazily-removed one; the arrays can be recycled wholesale.
+        if self._live == 0:
+            self._head = self._tail = 0
+            if self._removed:
+                self._removed.clear()
+
+    def _went_nonidle(self, added: int) -> None:
+        self._live += added
+        if self._live == added and self._listener is not None:
+            self._listener(self.color, False)
+
+    def _skim(self) -> None:
+        """Advance past lazily-removed entries at the front."""
+        removed = self._removed
+        while removed and self._head < self._tail:
+            u = int(self._uid[self._head])
+            if u not in removed:
+                break
+            removed.discard(u)
+            self._head += 1
+
+    # -- adds ---------------------------------------------------------------------
+
+    def add(self, job: Job) -> None:
+        """Insert one job, keeping the active region sorted."""
+        if job.color != self.color:
+            raise ValueError(
+                f"job color {job.color!r} != pool color {self.color!r}"
+            )
+        self._ensure(1)
+        d, b, u = job.deadline, job.delay_bound, job.uid
+        t = self._tail
+        if t == self._head or (
+            (self._dl[t - 1], self._db[t - 1], self._uid[t - 1]) <= (d, b, u)
+        ):
+            self._dl[t] = d
+            self._db[t] = b
+            self._uid[t] = u
+            self._tail = t + 1
+        else:
+            self._insert_sorted(d, b, u)
+        self._went_nonidle(1)
+
+    def _insert_sorted(self, d: int, b: int, u: int) -> None:
+        head, tail = self._head, self._tail
+        lo = int(np.searchsorted(self._dl[head:tail], d, side="left")) + head
+        hi = int(np.searchsorted(self._dl[head:tail], d, side="right")) + head
+        pos = lo
+        while pos < hi and (self._db[pos], self._uid[pos]) <= (b, u):
+            pos += 1
+        for name, value in (("_dl", d), ("_db", b), ("_uid", u)):
+            arr = getattr(self, name)
+            arr[pos + 1:tail + 1] = arr[pos:tail].copy()
+            arr[pos] = value
+        self._tail = tail + 1
+
+    def append_run(
+        self, dl: np.ndarray, db: np.ndarray, uid: np.ndarray
+    ) -> None:
+        """Bulk-append a presorted same-color run (see :func:`sort_run`).
+
+        The fast path is a pure slice copy whenever the run's first key
+        is at or past the bucket tail's key — always true for per-color
+        constant delay bounds (FIFO deadlines); the merge fallback
+        re-lexsorts the union for the general per-job-bound case.
+        """
+        k = len(dl)
+        if k == 0:
+            return
+        self._ensure(k)
+        t = self._tail
+        monotone = t == self._head or (
+            (self._dl[t - 1], self._db[t - 1], self._uid[t - 1])
+            <= (dl[0], db[0], uid[0])
+        )
+        if monotone:
+            self._dl[t:t + k] = dl
+            self._db[t:t + k] = db
+            self._uid[t:t + k] = uid
+            self._tail = t + k
+        else:
+            merged_dl = np.concatenate((self._dl[self._head:t], dl))
+            merged_db = np.concatenate((self._db[self._head:t], db))
+            merged_uid = np.concatenate((self._uid[self._head:t], uid))
+            order = np.lexsort((merged_uid, merged_db, merged_dl))
+            span = len(order)
+            self._dl[:span] = merged_dl[order]
+            self._db[:span] = merged_db[order]
+            self._uid[:span] = merged_uid[order]
+            self._head, self._tail = 0, span
+        self._went_nonidle(k)
+
+    # -- queries ------------------------------------------------------------------
+
+    def earliest_deadline(self) -> int | None:
+        self._skim()
+        if self._head == self._tail:
+            return None
+        return int(self._dl[self._head])
+
+    def peek_uid(self) -> int | None:
+        self._skim()
+        if self._head == self._tail:
+            return None
+        return int(self._uid[self._head])
+
+    def live_uids(self) -> list[int]:
+        """Pending uids in bucket (i.e. ranking) order."""
+        active = self._uid[self._head:self._tail].tolist()
+        if self._removed:
+            removed = self._removed
+            return [u for u in active if u not in removed]
+        return active
+
+    # -- batch pops ---------------------------------------------------------------
+
+    def pop_front_n(self, m: int) -> list[int]:
+        """Pop the ``m`` earliest pending uids (``m <= len(self)``)."""
+        if m > self._live:
+            raise IndexError(
+                f"pool for color {self.color!r} holds {self._live} jobs, "
+                f"cannot pop {m}"
+            )
+        if not self._removed:
+            out = self._uid[self._head:self._head + m].tolist()
+            self._head += m
+        else:
+            out = []
+            removed = self._removed
+            while len(out) < m:
+                u = int(self._uid[self._head])
+                self._head += 1
+                if u in removed:
+                    removed.discard(u)
+                else:
+                    out.append(u)
+        self._live -= m
+        if self._live == 0:
+            self._reset_if_drained()
+            if self._listener is not None:
+                self._listener(self.color, True)
+        return out
+
+    def drop_front_expired(self, rnd: int) -> list[int]:
+        """Pop every pending uid with ``deadline <= rnd``, in bucket order."""
+        head, tail = self._head, self._tail
+        cut = expired_prefix(self._dl[head:tail], rnd)
+        if cut == 0:
+            return []
+        out = self._uid[head:head + cut].tolist()
+        self._head = head + cut
+        if self._removed:
+            removed = self._removed
+            kept = [u for u in out if u not in removed]
+            removed.difference_update(out)
+            out = kept
+        self._live -= len(out)
+        if out and self._live == 0:
+            self._reset_if_drained()
+            if self._listener is not None:
+                self._listener(self.color, True)
+        return out
+
+    # -- lazy removal -------------------------------------------------------------
+
+    def remove(self, job: Job) -> None:
+        """Mark a pending job as no longer pending (lazy removal).
+
+        Raises :class:`KeyError` if ``job`` is not currently pending in
+        this bucket (never added, already executed, dropped, or removed)
+        — silently decrementing would drive the live count negative and
+        make ``idle`` lie about remaining work, exactly the failure mode
+        ``PendingPool.remove`` guards against.
+        """
+        u = job.uid
+        active = self._uid[self._head:self._tail]
+        if u in self._removed or not bool((active == u).any()):
+            raise KeyError(
+                f"job {u} is not pending in the pool for color "
+                f"{self.color!r}"
+            )
+        self._removed.add(u)
+        self._live -= 1
+        if self._live == 0:
+            self._reset_if_drained()
+            if self._listener is not None:
+                self._listener(self.color, True)
+
+
+# -- the store -------------------------------------------------------------------
+
+
+class ArrayPendingStore:
+    """All pending jobs as per-color :class:`ColorBucket` arrays.
+
+    Duck-types the :class:`~repro.core.pending.PendingStore` surface the
+    policies and the serve layer consume (``idle``, ``nonidle_set``,
+    ``take_idle_flips``, ``pending_count``, ``pool``, ...).  Buckets get
+    dense ids in *first-touch* order — the same order the object store
+    creates pools in — so the drop phase's iteration order, and with it
+    the event log, is byte-identical.
+
+    ``jobs_by_uid`` maps uids back to :class:`Job` objects wherever the
+    object world needs them (drop hooks, events, ``execute_one``); the
+    owning simulator shares its prebuilt map, while standalone use
+    registers jobs on :meth:`add`.
+    """
+
+    def __init__(
+        self,
+        telemetry: Recorder | None = None,
+        jobs_by_uid: dict[int, Job] | None = None,
+    ) -> None:
+        self._ids: dict[Color, int] = {}
+        self._buckets: list[ColorBucket] = []
+        self._nonidle: set[Color] = set()
+        self._idle_flips: set[Color] = set()
+        self._jobs = jobs_by_uid if jobs_by_uid is not None else {}
+        #: lower bound on the earliest pending deadline (stale-low is safe:
+        #: it only costs a wasted scan, never a missed drop).  None = no
+        #: bound known; drop scans then rely on the nonidle set alone.
+        self._min_deadline: int | None = None
+        self.telemetry = telemetry if telemetry is not None else get_recorder()
+
+    def _on_idle_change(self, color: Color, now_idle: bool) -> None:
+        if now_idle:
+            self._nonidle.discard(color)
+        else:
+            self._nonidle.add(color)
+        self._idle_flips.add(color)
+
+    def pool(self, color: Color) -> ColorBucket:
+        cid = self._ids.get(color)
+        if cid is None:
+            cid = self._ids[color] = len(self._buckets)
+            self._buckets.append(ColorBucket(color, self._on_idle_change))
+        return self._buckets[cid]
+
+    def add(self, job: Job) -> None:
+        self._jobs[job.uid] = job
+        self.pool(job.color).add(job)
+        if self._min_deadline is None or job.deadline < self._min_deadline:
+            self._min_deadline = job.deadline
+
+    def add_run(
+        self, color: Color, dl: np.ndarray, db: np.ndarray, uid: np.ndarray
+    ) -> None:
+        """Bulk-add one presorted run (uids already in ``jobs_by_uid``)."""
+        self.pool(color).append_run(dl, db, uid)
+        if len(dl):
+            first = int(dl[0])
+            if self._min_deadline is None or first < self._min_deadline:
+                self._min_deadline = first
+
+    def colors(self) -> Iterator[Color]:
+        return iter(self._ids)
+
+    def nonidle_colors(self) -> list[Color]:
+        """Nonidle colors in bucket-creation order (the historical order)."""
+        nonidle = self._nonidle
+        return [color for color in self._ids if color in nonidle]
+
+    def nonidle_set(self) -> set[Color]:
+        """The cached nonidle-color set.  Treat as read-only."""
+        return self._nonidle
+
+    def take_idle_flips(self) -> set[Color]:
+        """Colors whose idleness changed since the last call; clears the feed."""
+        flips = self._idle_flips
+        if flips:
+            self._idle_flips = set()
+            if self.telemetry.enabled:
+                self.telemetry.observe("repro_idle_flips_size", len(flips))
+        return flips
+
+    def idle(self, color: Color) -> bool:
+        return color not in self._nonidle
+
+    def pending_count(self, color: Color | None = None) -> int:
+        if color is not None:
+            cid = self._ids.get(color)
+            return 0 if cid is None else len(self._buckets[cid])
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def drop_expired(self, rnd: int) -> list[Job]:
+        """Drop every pending job whose deadline has been reached.
+
+        Scans buckets in creation order (filtered by the nonidle set) like
+        the object store, but only when the earliest-deadline lower bound
+        says something *can* expire; the scan recomputes the bound exactly.
+        """
+        if not self._nonidle:
+            return []
+        if self._min_deadline is not None and self._min_deadline > rnd:
+            return []
+        dropped: list[Job] = []
+        jobs = self._jobs
+        new_min: int | None = None
+        nonidle = self._nonidle
+        for color, cid in self._ids.items():
+            if color not in nonidle:
+                continue
+            bucket = self._buckets[cid]
+            uids = bucket.drop_front_expired(rnd)
+            if uids:
+                dropped.extend(jobs[u] for u in uids)
+            earliest = bucket.earliest_deadline()
+            if earliest is not None and (new_min is None or earliest < new_min):
+                new_min = earliest
+        self._min_deadline = new_min
+        return dropped
+
+    def execute_one(self, color: Color) -> Job | None:
+        """Pop the earliest-deadline pending job of ``color``, if any."""
+        if color not in self._nonidle:
+            return None
+        bucket = self._buckets[self._ids[color]]
+        return self._jobs[bucket.pop_front_n(1)[0]]
+
+    def all_pending(self) -> list[Job]:
+        jobs = self._jobs
+        out = [
+            jobs[u] for bucket in self._buckets for u in bucket.live_uids()
+        ]
+        return sorted(out, key=Job.sort_key)
+
+
+# -- the simulator ---------------------------------------------------------------
+
+
+class ArraySimulator:
+    """The array-native engine: same contract, flat state.
+
+    Drop-in for :class:`~repro.core.simulator.Simulator` (the policies,
+    the digest contract, and the serve layer only consume the shared
+    surface).  Construction front-loads everything that does not depend
+    on policy decisions — per-round presorted arrival runs, the
+    ``uid -> Job`` map, prebuilt :class:`Request` objects — so the round
+    loop touches numpy slices instead of per-job Python objects.  Live
+    sequences (the serve path) skip the precompute and feed jobs through
+    per-round adds.
+
+    The reconfiguration phase reuses the incremental
+    :class:`ResourceBank` as-is: its diff plan order is part of the
+    bit-identity contract and already runs in O(changes).
+    """
+
+    engine = "array"
+    #: engines are named now; the legacy bool survives for surfaces that
+    #: still branch on it (the array engine *is* an incremental engine).
+    incremental = True
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: Policy,
+        n: int,
+        speed: int = 1,
+        record_events: bool = True,
+        telemetry: Recorder | None = None,
+    ):
+        if speed < 1:
+            raise ValueError(f"speed must be >= 1, got {speed}")
+        self.instance = instance
+        self.sequence = instance.sequence
+        self.delta = instance.delta
+        self.policy = policy
+        self.n = n
+        self.speed = speed
+        self.telemetry = telemetry if telemetry is not None else get_recorder()
+        self.bank = ResourceBank(n, incremental=True, telemetry=self.telemetry)
+        self._jobs: dict[int, Job] = {}
+        self.pending = ArrayPendingStore(
+            telemetry=self.telemetry, jobs_by_uid=self._jobs
+        )
+        self.ledger = CostLedger(self.delta)
+        self.events = EventLog(enabled=record_events)
+        self.schedule = Schedule(n=n, speed=speed)
+        self._record = record_events
+        self.executed_uids: set[int] = set()
+        self.dropped_uids: set[int] = set()
+        self.round = -1
+        #: per-round presorted arrival runs; None for live sequences.
+        self._runs: list[list[tuple[Color, np.ndarray, np.ndarray, np.ndarray]]] | None = None
+        self._requests: list[Request] | None = None
+        if type(self.sequence) is RequestSequence:
+            self._precompute()
+        self._wants_exec_hook = (
+            type(policy).on_execution_phase is not Policy.on_execution_phase
+        )
+        policy.bind(self)
+
+    def _precompute(self) -> None:
+        """Build the CSR arrival runs for a frozen request sequence."""
+        horizon = self.sequence.horizon
+        self._requests = [self.sequence.request(rnd) for rnd in range(horizon)]
+        self._runs = [self._runs_of(req) for req in self._requests]
+
+    def _runs_of(
+        self, request: Request
+    ) -> list[tuple[Color, np.ndarray, np.ndarray, np.ndarray]]:
+        jobs = self._jobs
+        if not request.jobs:
+            return []
+        groups: dict[Color, list[Job]] = {}
+        for job in request.jobs:
+            jobs[job.uid] = job
+            groups.setdefault(job.color, []).append(job)
+        runs = []
+        for color, members in groups.items():
+            k = len(members)
+            dl = np.fromiter((j.arrival + j.delay_bound for j in members),
+                             np.int64, k)
+            db = np.fromiter((j.delay_bound for j in members), np.int64, k)
+            uid = np.fromiter((j.uid for j in members), np.int64, k)
+            runs.append((color, *sort_run(dl, db, uid)))
+        return runs
+
+    # -- state views for policies (same surface as Simulator) ----------------------
+
+    def is_idle(self, color: Color) -> bool:
+        return self.pending.idle(color)
+
+    def earliest_deadline(self, color: Color) -> int | None:
+        return self.pending.pool(color).earliest_deadline()
+
+    def cached_colors(self):
+        return self.bank.configured_colors()
+
+    # -- the round loop ------------------------------------------------------------
+
+    def run(self, horizon: int | None = None) -> SimulationResult:
+        """Simulate rounds ``0 .. horizon-1`` (default: the sequence horizon)."""
+        limit = self.sequence.horizon if horizon is None else horizon
+        telem = self.telemetry
+        if telem.tracing:
+            telem.emit({
+                "kind": "header",
+                "schema": TRACE_SCHEMA,
+                "instance": self.instance.name,
+                "n": self.n,
+                "speed": self.speed,
+                "delta": self.delta,
+                "engine": "array",
+                "policy": type(self.policy).__name__,
+                "horizon": limit,
+            })
+        for rnd in range(limit):
+            self.step(rnd)
+        if telem.tracing:
+            telem.emit({"kind": "summary", **self.ledger.summary()})
+        return SimulationResult(
+            instance=self.instance,
+            n=self.n,
+            speed=self.speed,
+            ledger=self.ledger,
+            events=self.events,
+            schedule=self.schedule,
+            executed_uids=self.executed_uids,
+            dropped_uids=self.dropped_uids,
+            policy=self.policy,
+        )
+
+    def step(self, rnd: int) -> None:
+        """Run one full round (all four phases, ``speed`` mini-rounds)."""
+        if rnd != self.round + 1:
+            raise ValueError(
+                f"rounds must be stepped in order; expected {self.round + 1}, "
+                f"got {rnd} (instance {self.instance.name!r}, "
+                f"policy {type(self.policy).__name__})"
+            )
+        self.round = rnd
+        telem = self.telemetry
+        live = telem.enabled
+        tick = time.perf_counter if live else None
+        t0 = tick() if live else 0.0
+        record = self._record
+        events = self.events
+
+        # Phase 1: drop (batch pops per bucket, bulk ledger charges).
+        dropped = self.pending.drop_expired(rnd)
+        if dropped:
+            charge = self.ledger.charge_drop
+            per_color: dict[Color, int] = {}
+            for job in dropped:
+                per_color[job.color] = per_color.get(job.color, 0) + 1
+            for color, count in per_color.items():
+                charge(rnd, color, count)
+            self.dropped_uids.update(job.uid for job in dropped)
+            if record:
+                for job in dropped:
+                    events.append(DropEvent(rnd, 0, job))
+        self.policy.on_drop_phase(rnd, dropped)
+        t1 = tick() if live else 0.0
+
+        # Phase 2: arrival (bulk bucket appends of presorted runs).
+        runs = self._runs
+        if runs is not None and rnd < len(runs):
+            request = self._requests[rnd]  # type: ignore[index]
+            add_run = self.pending.add_run
+            for color, dl, db, uid in runs[rnd]:
+                add_run(color, dl, db, uid)
+            if record:
+                for job in request:
+                    events.append(ArrivalEvent(rnd, 0, job))
+        else:
+            # Live (or past-horizon) path: per-job adds, like the object
+            # engine — arrival batches are small on the serve path.
+            request = self.sequence.request(rnd)
+            add = self.pending.add
+            for job in request:
+                add(job)
+                if record:
+                    events.append(ArrivalEvent(rnd, 0, job))
+        self.policy.on_arrival_phase(rnd, request)
+        t2 = tick() if live else 0.0
+
+        # Phases 3+4, repeated per mini-round.
+        num_reconfigs = num_execs = 0
+        reconfig_s = execute_s = 0.0
+        prev = t2
+        t3 = 0.0
+        jobs = self._jobs
+        bank = self.bank
+        pending = self.pending
+        schedule_execs = self.schedule.executions
+        for mini in range(self.speed):
+            desired = self.policy.desired_configuration(rnd, mini)
+            changes = bank.reconfigure_to(desired, rnd, self.ledger)
+            for loc, old, new in changes:
+                self.schedule.add_reconfig(rnd, loc, new, mini)
+                if record:
+                    events.append(ReconfigEvent(rnd, mini, loc, old, new))
+            if live:
+                num_reconfigs += len(changes)
+                t3 = tick()
+                reconfig_s += t3 - prev
+
+            # Execution: per configured nonidle color, the first ``m``
+            # bucket entries land on that color's ``m`` lowest locations;
+            # the global ascending-location sort reproduces the reference
+            # scan's interleaving exactly.
+            pairs: list[tuple[int, int]] = []
+            bank_locs = bank._locs
+            for color in [c for c in pending._nonidle if c in bank_locs]:
+                locs = bank_locs[color]
+                bucket = pending._buckets[pending._ids[color]]
+                m = min(len(bucket), len(locs))
+                if m:
+                    pairs.extend(zip(locs[:m], bucket.pop_front_n(m)))
+            executed: list[tuple[int, Job]] = []
+            if pairs:
+                pairs.sort()
+                self.executed_uids.update(u for _, u in pairs)
+                for loc, u in pairs:
+                    schedule_execs.append(Execution(rnd, mini, loc, u))
+                if record:
+                    for loc, u in pairs:
+                        events.append(ExecutionEvent(rnd, mini, loc, jobs[u]))
+                if self._wants_exec_hook:
+                    executed = [(loc, jobs[u]) for loc, u in pairs]
+            self.policy.on_execution_phase(rnd, mini, executed)
+            if live:
+                num_execs += len(pairs)
+                prev = tick()
+                execute_s += prev - t3
+
+        if live:
+            pending_size = pending.pending_count()
+            telem.count("repro_rounds_total")
+            telem.count("repro_mini_rounds_total", self.speed)
+            if dropped:
+                telem.count("repro_drops_total", len(dropped))
+            if len(request):
+                telem.count("repro_arrivals_total", len(request))
+            if num_execs:
+                telem.count("repro_executions_total", num_execs)
+            if num_reconfigs:
+                telem.count("repro_reconfigs_total", num_reconfigs)
+            telem.observe("repro_phase_seconds", t1 - t0, phase="drop")
+            telem.observe("repro_phase_seconds", t2 - t1, phase="arrival")
+            telem.observe("repro_phase_seconds", reconfig_s, phase="reconfig")
+            telem.observe("repro_phase_seconds", execute_s, phase="execute")
+            telem.gauge("repro_pending_jobs", pending_size)
+            if telem.tracing:
+                telem.emit({
+                    "kind": "round",
+                    "round": rnd,
+                    "mini_rounds": self.speed,
+                    "arrivals": len(request),
+                    "executions": num_execs,
+                    "recolored": num_reconfigs,
+                    "pending": pending_size,
+                    "ledger": ledger_round_delta(self.ledger, rnd),
+                })

@@ -322,8 +322,26 @@ def simulate(
     record_events: bool = True,
     incremental: bool = True,
     telemetry: Recorder | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`Simulator`."""
+    """One-shot convenience wrapper around the engine registry.
+
+    ``engine`` selects by name (``reference``/``incremental``/``array``,
+    see :mod:`repro.core.engine`) and overrides the legacy
+    ``incremental`` boolean when given.
+    """
+    if engine is not None:
+        from repro.core.engine import make_simulator
+
+        return make_simulator(
+            instance,
+            policy,
+            n,
+            engine=engine,
+            speed=speed,
+            record_events=record_events,
+            telemetry=telemetry,
+        ).run()
     return Simulator(
         instance, policy, n, speed, record_events, incremental, telemetry
     ).run()

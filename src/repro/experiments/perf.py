@@ -1,19 +1,23 @@
-"""Perf harness: the incremental hot path vs the reference engine.
+"""Perf harness: all three round engines against each other.
 
-Every simulator/policy pair in this codebase runs in one of two modes:
+Every simulator/policy pair in this codebase runs on one of three
+engines (see :mod:`repro.core.engine`):
 
-- ``incremental=True`` (default) — index-diffed reconfiguration in the
-  resource bank, maintained rankings in the policies, sparse execution;
-- ``incremental=False`` — the historical full-scan / full-re-sort engine.
+- ``reference`` — the historical full-scan / full-re-sort object engine;
+- ``incremental`` — index-diffed reconfiguration in the resource bank,
+  maintained rankings in the policies, sparse execution;
+- ``array`` — the structure-of-arrays engine: numpy deadline buckets
+  and batch phase kernels (:mod:`repro.core.array_engine`).
 
-The two are required to be **bit-identical**: same ledger, same schedule,
-same event log, job for job and location for location.  This harness
-measures the speedup of the first over the second on the same workloads the
-pytest benchmarks use (E12's datacenter scenario plus the three scaling
-series) and verifies the bit-identity contract on every case — both within
-this process and, optionally, across processes under different
-``PYTHONHASHSEED`` values (string-colored workloads would leak set
-iteration order into the schedules if any code path iterated a raw set).
+All three are required to be **bit-identical**: same ledger, same
+schedule, same event log, job for job and location for location.  This
+harness measures the speedups over the reference engine on the same
+workloads the pytest benchmarks use (E12's datacenter scenario plus the
+scaling series) and verifies the bit-identity contract on every case —
+both within this process and, optionally, across processes under
+different ``PYTHONHASHSEED`` values (string-colored workloads would
+leak set iteration order into the schedules if any code path iterated a
+raw set).
 
 Results land in ``BENCH_perf.json`` at the repo root::
 
@@ -35,6 +39,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.digest import result_digest
+from repro.core.engine import ENGINES, make_simulator
 from repro.core.job import Job
 from repro.core.request import Instance, RequestSequence
 from repro.core.simulator import SimulationResult, Simulator
@@ -42,7 +47,7 @@ from repro.policies.dlru_edf import DeltaLRUEDFPolicy
 from repro.workloads.generators import rate_limited_workload
 from repro.workloads.scenarios import datacenter_workload
 
-SCHEMA = "bench-perf-v2"
+SCHEMA = "bench-perf-v3"
 
 #: PYTHONHASHSEED values for the cross-process determinism leg (≥3 distinct
 #: seeds, none of them 0, so hash-order bugs cannot hide behind a fixed seed).
@@ -64,8 +69,12 @@ class PerfCase:
     n: int
     #: membership: "quick" runs a subset, "full" runs everything.
     scales: tuple[str, ...] = ("quick", "full")
-    #: the acceptance gate (>= 1.5x) applies to the largest case only.
+    #: the incremental acceptance gate (>= 1.5x) applies to the largest
+    #: case only.
     largest: bool = False
+    #: the array-engine acceptance gate (>= 10x over reference) applies
+    #: to the largest ``scaling_*`` case only.
+    array_gated: bool = False
 
 
 #: The perf suite mirrors the pytest benchmarks: E12's datacenter scenario
@@ -99,6 +108,26 @@ CASES: tuple[PerfCase, ...] = (
         scales=("full",),
     ),
     PerfCase(
+        name="scaling_resources_1024",
+        workload="rate-limited",
+        params={"num_colors": 32, "horizon": 1024, "delta": 4, "seed": 0},
+        n=1024,
+        scales=("full",),
+    ),
+    # The largest scaling-series point, and the array engine's gate: the
+    # reference engine's per-mini-round O(n) location scan grows linearly
+    # in n while the array engine touches only the nonidle buckets' front
+    # slices, so its wall clock is flat in n — the >= 10x acceptance gate
+    # lives here.
+    PerfCase(
+        name="scaling_resources_16384",
+        workload="rate-limited",
+        params={"num_colors": 32, "horizon": 1024, "delta": 4, "seed": 0},
+        n=16384,
+        scales=("full",),
+        array_gated=True,
+    ),
+    PerfCase(
         name="e12_datacenter_full",
         workload="datacenter",
         params={"num_services": 16, "horizon": 16384, "delta": 8, "seed": 0},
@@ -124,28 +153,42 @@ def build_instance(case: PerfCase) -> Instance:
     return _WORKLOADS[case.workload](**case.params)
 
 
+def _coerce_engine(engine: str | bool) -> str:
+    """Accept an engine name or the legacy ``incremental`` boolean."""
+    if isinstance(engine, bool):
+        return "incremental" if engine else "reference"
+    return engine
+
+
 def run_case(
     case: PerfCase,
-    incremental: bool,
-    record_events: bool,
+    engine: str | bool = "incremental",
+    record_events: bool = True,
     instance: Instance | None = None,
+    *,
+    incremental: bool | None = None,
 ) -> SimulationResult:
-    """One simulation of ``case`` on the selected engine.
+    """One simulation of ``case`` on the named engine.
 
-    Digest comparisons must pass the *same* ``instance`` to both engines:
+    Digest comparisons must pass the *same* ``instance`` to every engine:
     job uids come from a process-global counter, so two builds of the same
     workload carry different uid streams (and therefore different digests)
     even though the runs are otherwise identical.
     """
+    if incremental is not None:
+        engine = incremental
+    engine = _coerce_engine(engine)
     if instance is None:
         instance = build_instance(case)
-    policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
-    sim = Simulator(
+    policy = DeltaLRUEDFPolicy(
+        instance.delta, incremental=engine != "reference"
+    )
+    sim = make_simulator(
         instance,
         policy,
-        n=case.n,
+        case.n,
+        engine=engine,
         record_events=record_events,
-        incremental=incremental,
     )
     return sim.run()
 
@@ -154,32 +197,33 @@ def run_case(
 # serve determinism contract hashes runs exactly the way this harness does.
 
 
-def time_case(case: PerfCase, repeats: int) -> tuple[float, float]:
-    """Best-of-``repeats`` wall clock for (reference, incremental).
+def time_case(case: PerfCase, repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` wall clock per engine (``{engine: seconds}``).
 
-    The repeats interleave the two engines and collect garbage before each
-    timed run, so clock drift and allocator state hit both sides equally
-    (events off, like the pytest benchmarks).
+    The repeats interleave the engines and collect garbage before each
+    timed run, so clock drift and allocator state hit every side equally
+    (events off, like the pytest benchmarks).  Simulator construction —
+    where the array engine front-loads its presorted arrival runs — is
+    timed too, so the array column pays for its precompute.
     """
-    best = {False: float("inf"), True: float("inf")}
+    best = {engine: float("inf") for engine in ENGINES}
     for _ in range(repeats):
-        for incremental in (False, True):
+        for engine in ENGINES:
             instance = build_instance(case)
-            policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
-            sim = Simulator(
-                instance,
-                policy,
-                n=case.n,
-                record_events=False,
-                incremental=incremental,
+            policy = DeltaLRUEDFPolicy(
+                instance.delta, incremental=engine != "reference"
             )
             gc.collect()
             start = time.perf_counter()
-            sim.run()
-            best[incremental] = min(
-                best[incremental], time.perf_counter() - start
-            )
-    return best[False], best[True]
+            make_simulator(
+                instance,
+                policy,
+                case.n,
+                engine=engine,
+                record_events=False,
+            ).run()
+            best[engine] = min(best[engine], time.perf_counter() - start)
+    return best
 
 
 # -- the cross-process determinism leg ------------------------------------------
@@ -209,10 +253,11 @@ def _string_relabel(instance: Instance) -> Instance:
 def hashseed_digests() -> dict[str, str]:
     """Digests of one string-colored run on each engine (current process).
 
-    A third leg re-runs the incremental engine with a live telemetry
+    An extra leg re-runs the incremental engine with a live telemetry
     recorder (metrics plus a discarded JSONL trace): the
     never-affects-digests contract must hold under every hash seed, so the
-    flat-digest check covers telemetry-on alongside both plain engines.
+    flat-digest check covers telemetry-on alongside all three plain
+    engines.
     """
     import io
 
@@ -222,12 +267,12 @@ def hashseed_digests() -> dict[str, str]:
         rate_limited_workload(num_colors=16, horizon=256, delta=4, seed=0)
     )
     out = {}
-    for label, incremental in (("incremental", True), ("reference", False)):
-        policy = DeltaLRUEDFPolicy(instance.delta, incremental=incremental)
-        result = Simulator(
-            instance, policy, n=16, incremental=incremental
-        ).run()
-        out[label] = result_digest(result)
+    for engine in ENGINES:
+        policy = DeltaLRUEDFPolicy(
+            instance.delta, incremental=engine != "reference"
+        )
+        result = make_simulator(instance, policy, 16, engine=engine).run()
+        out[engine] = result_digest(result)
     recorder = TelemetryRecorder(trace=TraceWriter(io.StringIO()))
     result = Simulator(
         instance,
@@ -251,7 +296,8 @@ def check_hashseed_determinism(
     """Run the string-colored digest in one subprocess per hash seed.
 
     Returns ``{"seeds": [...], "digests": {...}, "identical": bool}`` where
-    ``identical`` means every seed and both engines produced one digest.
+    ``identical`` means every seed and all three engines produced one
+    digest.
     """
     digests: dict[str, dict[str, str]] = {}
     src_root = str(Path(__file__).resolve().parents[2])
@@ -384,33 +430,39 @@ def run_perf(
     for case in cases:
         # Time first: the digest pass allocates full event logs, and its
         # allocator footprint would otherwise bleed into the wall clocks.
-        ref_s, inc_s = time_case(case, repeats)
+        seconds = time_case(case, repeats)
         shared = build_instance(case)
-        ref_digest = result_digest(
-            run_case(case, False, record_events=True, instance=shared)
-        )
-        inc_digest = result_digest(
-            run_case(case, True, record_events=True, instance=shared)
-        )
+        digests = {
+            engine: result_digest(
+                run_case(case, engine, record_events=True, instance=shared)
+            )
+            for engine in ENGINES
+        }
         rows.append({
             "name": case.name,
             "workload": case.workload,
             "params": dict(case.params),
             "n": case.n,
             "largest": case.largest,
-            "reference_seconds": round(ref_s, 6),
-            "incremental_seconds": round(inc_s, 6),
-            "speedup": round(ref_s / inc_s, 3),
-            "digest": inc_digest,
-            "digests_match": ref_digest == inc_digest,
+            "array_gated": case.array_gated,
+            "reference_seconds": round(seconds["reference"], 6),
+            "incremental_seconds": round(seconds["incremental"], 6),
+            "array_seconds": round(seconds["array"], 6),
+            "speedup": round(seconds["reference"] / seconds["incremental"], 3),
+            "speedup_array": round(seconds["reference"] / seconds["array"], 3),
+            "digest": digests["incremental"],
+            "digests_match": len(set(digests.values())) == 1,
         })
     flagged = next((r for r in rows if r["largest"]), None)
     gate_row = flagged or rows[-1]
+    array_flagged = next((r for r in rows if r["array_gated"]), None)
+    array_row = array_flagged or max(rows, key=lambda r: r["speedup_array"])
     payload = {
         "schema": SCHEMA,
         "scale": scale,
         "repeats": repeats,
         "python": sys.version.split()[0],
+        "engines": list(ENGINES),
         "cases": rows,
         "largest_case": {
             "name": gate_row["name"],
@@ -419,6 +471,15 @@ def run_perf(
             # The 1.5x acceptance gate is defined on the largest (full-scale)
             # case; at --scale quick the number is informational.
             "gated": flagged is not None,
+        },
+        "array_case": {
+            "name": array_row["name"],
+            "speedup_array": array_row["speedup_array"],
+            "meets_10x": array_row["speedup_array"] >= 10.0,
+            # The 10x array gate is defined on the largest scaling_* case,
+            # which only runs at --scale full; at quick scale the best
+            # observed array speedup is reported informationally.
+            "gated": array_flagged is not None,
         },
         "all_digests_match": all(r["digests_match"] for r in rows),
     }
@@ -435,13 +496,15 @@ def render(payload: dict) -> str:
     lines = [
         f"perf ({payload['scale']}, best of {payload['repeats']}):",
         f"  {'case':26s} {'reference':>10s} {'incremental':>12s} "
-        f"{'speedup':>8s}  digests",
+        f"{'array':>10s} {'inc':>7s} {'arr':>8s}  digests",
     ]
     for row in payload["cases"]:
         lines.append(
             f"  {row['name']:26s} {row['reference_seconds'] * 1000:9.1f}ms "
             f"{row['incremental_seconds'] * 1000:11.1f}ms "
-            f"{row['speedup']:7.2f}x  "
+            f"{row['array_seconds'] * 1000:9.1f}ms "
+            f"{row['speedup']:6.2f}x "
+            f"{row['speedup_array']:7.2f}x  "
             f"{'match' if row['digests_match'] else 'MISMATCH'}"
         )
     largest = payload["largest_case"]
@@ -454,6 +517,17 @@ def render(payload: dict) -> str:
         lines.append(
             f"  largest case {largest['name']}: {largest['speedup']:.2f}x "
             f"(informational; the 1.5x gate applies at --scale full)"
+        )
+    array = payload["array_case"]
+    if array.get("gated"):
+        lines.append(
+            f"  array gate {array['name']}: {array['speedup_array']:.2f}x "
+            f"({'meets' if array['meets_10x'] else 'BELOW'} the 10x gate)"
+        )
+    else:
+        lines.append(
+            f"  array gate {array['name']}: {array['speedup_array']:.2f}x "
+            f"(informational; the 10x gate applies at --scale full)"
         )
     if "telemetry" in payload:
         tel = payload["telemetry"]
@@ -480,7 +554,8 @@ def render(payload: dict) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="perf", description="incremental-vs-reference engine benchmark"
+        prog="perf",
+        description="three-engine benchmark (reference / incremental / array)",
     )
     parser.add_argument("--scale", default="quick", choices=["quick", "full"])
     parser.add_argument("--repeats", type=int, default=3)

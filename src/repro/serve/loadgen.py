@@ -23,8 +23,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.digest import component_digests
+from repro.core.engine import make_simulator
 from repro.core.request import Instance, RequestSequence
-from repro.core.simulator import Simulator
 from repro.policies import make_policy
 from repro.serve.protocol import (
     PROTOCOL,
@@ -140,7 +140,8 @@ def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
     """
     shards = params["shards"]
     capacities = params["shard_capacity"]
-    incremental = params["engine"] == "incremental"
+    engine = params["engine"]
+    incremental = engine != "reference"
     per_shard: list[list] = [[] for _ in range(shards)]
     for rnd in range(instance.horizon):
         for job in instance.sequence.request(rnd):
@@ -154,13 +155,13 @@ def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
         policy = make_policy(
             params["policy"], params["delta"], incremental=incremental
         )
-        sim = Simulator(
+        sim = make_simulator(
             shard_instance,
             policy,
             capacities[shard_id],
+            engine=engine,
             speed=params["speed"],
             record_events=True,
-            incremental=incremental,
         )
         result = sim.run(horizon=rounds)
         digests.append(component_digests(

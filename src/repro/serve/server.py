@@ -63,6 +63,9 @@ class ServeConfig:
     shards: int = 1
     speed: int = 1
     incremental: bool = True
+    #: engine name ("reference"/"incremental"/"array"); when None the
+    #: legacy ``incremental`` bool selects between the object engines.
+    engine: str | None = None
     clock: str = "client"  # "client" | "timer"
     round_interval: float = 0.05  # timer clock only
     max_pending: int = 10_000
@@ -72,6 +75,10 @@ class ServeConfig:
     name: str = "serve"
 
     def __post_init__(self) -> None:
+        from repro.core.engine import resolve_engine
+
+        self.engine = resolve_engine(self.engine, incremental=self.incremental)
+        self.incremental = self.engine != "reference"
         if self.clock not in ("client", "timer"):
             raise ValueError(
                 f"clock must be 'client' or 'timer', got {self.clock!r}"
@@ -104,7 +111,7 @@ class SchedulingServer:
             ),
             shards=config.shards,
             speed=config.speed,
-            incremental=config.incremental,
+            engine=config.engine,
             max_pending=config.max_pending,
             telemetry=self.telemetry,
             name=config.name,
@@ -240,7 +247,7 @@ class SchedulingServer:
             "delta": cfg.delta,
             "speed": cfg.speed,
             "policy": cfg.policy,
-            "engine": "incremental" if cfg.incremental else "reference",
+            "engine": cfg.engine,
             "clock": cfg.clock,
             "max_pending": cfg.max_pending,
             "max_batch": cfg.max_batch,

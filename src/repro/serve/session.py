@@ -29,10 +29,11 @@ from fractions import Fraction
 from typing import Callable, Sequence
 
 from repro.core.digest import component_digests
+from repro.core.engine import make_simulator, resolve_engine
 from repro.core.events import DropEvent, ExecutionEvent, ReconfigEvent
 from repro.core.job import Color, Job
 from repro.core.live import LiveSequence, LiveSequenceError
-from repro.core.simulator import Policy, Simulator
+from repro.core.simulator import Policy
 from repro.policies.dlru_edf import _exact_fraction
 from repro.telemetry.recorder import Recorder
 
@@ -131,20 +132,22 @@ class SessionShard:
         incremental: bool = True,
         telemetry: Recorder | None = None,
         name: str = "serve",
+        engine: str | None = None,
     ):
         self.shard_id = shard_id
+        self.engine = resolve_engine(engine, incremental=incremental)
         self.live = LiveSequence()
         self.instance = self.live.as_instance(
             delta, name=f"{name}/shard{shard_id}"
         )
         try:
-            self.sim = Simulator(
+            self.sim = make_simulator(
                 self.instance,
                 policy,
                 n,
+                engine=self.engine,
                 speed=speed,
                 record_events=True,
-                incremental=incremental,
                 telemetry=telemetry,
             )
         except ValueError as exc:
@@ -237,13 +240,15 @@ class ShardedSession:
         weights: Sequence[int | float] | None = None,
         telemetry: Recorder | None = None,
         name: str = "serve",
+        engine: str | None = None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.n = n
         self.delta = delta
         self.speed = speed
-        self.incremental = incremental
+        self.engine = resolve_engine(engine, incremental=incremental)
+        self.incremental = self.engine != "reference"
         self.max_pending = max_pending
         self.capacities = split_capacity(n, shards, weights)
         self.shards = [
@@ -253,9 +258,9 @@ class ShardedSession:
                 delta,
                 policy_factory(),
                 speed=speed,
-                incremental=incremental,
                 telemetry=telemetry,
                 name=name,
+                engine=self.engine,
             )
             for i, cap in enumerate(self.capacities)
         ]

@@ -1,0 +1,326 @@
+"""Array-engine kernels against their object-model counterparts.
+
+Each vectorized kernel in :mod:`repro.core.array_engine` has an exact
+object-model twin: :func:`sort_run` is the heap's pop order,
+:func:`expired_prefix` is ``PendingPool.drop_expired``'s pop-until loop,
+:func:`multiset_missing` is the deficit side of
+:func:`repro.core.resources.multiset_distance`, and :class:`ColorBucket`
+as a whole must be operation-for-operation indistinguishable from
+:class:`PendingPool`.  Hypothesis drives both sides over random small
+states — including the empty-pool and all-idle edges — and any divergence
+is a byte-identity bug waiting to surface in a digest.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.array_engine import (
+    ArrayPendingStore,
+    ColorBucket,
+    expired_prefix,
+    multiset_missing,
+    sort_run,
+)
+from repro.core.job import Job
+from repro.core.pending import PendingPool, PendingStore
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+# -- sort_run: the ranking-update kernel ------------------------------------------
+
+
+@st.composite
+def same_color_batch(draw):
+    count = draw(st.integers(0, 25))
+    return [
+        J(0, draw(st.integers(0, 20)), draw(st.sampled_from([1, 2, 4, 8])))
+        for _ in range(count)
+    ]
+
+
+@given(jobs=same_color_batch())
+@settings(max_examples=150, deadline=None)
+def test_sort_run_matches_job_sort_key(jobs):
+    dl = np.array([j.deadline for j in jobs], dtype=np.int64)
+    db = np.array([j.delay_bound for j in jobs], dtype=np.int64)
+    uid = np.array([j.uid for j in jobs], dtype=np.int64)
+    s_dl, s_db, s_uid = sort_run(dl, db, uid)
+    expected = sorted(jobs, key=Job.sort_key)
+    assert s_uid.tolist() == [j.uid for j in expected]
+    assert s_dl.tolist() == [j.deadline for j in expected]
+    assert s_db.tolist() == [j.delay_bound for j in expected]
+
+
+# -- expired_prefix: the drop-phase pop-until loop --------------------------------
+
+
+@given(
+    deadlines=st.lists(st.integers(0, 30), max_size=25),
+    rnd=st.integers(-1, 32),
+)
+@settings(max_examples=150, deadline=None)
+def test_expired_prefix_matches_drop_contract(deadlines, rnd):
+    dl = np.array(sorted(deadlines), dtype=np.int64)
+    cut = expired_prefix(dl, rnd)
+    # Same <= contract as PendingPool.drop_expired: expired means
+    # deadline <= rnd, and the expired entries form exactly the prefix.
+    assert cut == sum(1 for d in deadlines if d <= rnd)
+    assert all(d <= rnd for d in dl[:cut].tolist())
+    assert all(d > rnd for d in dl[cut:].tolist())
+
+
+def test_expired_prefix_empty_array():
+    assert expired_prefix(np.array([], dtype=np.int64), 10) == 0
+
+
+# -- multiset_missing: the resource-diff deficit ----------------------------------
+
+
+@st.composite
+def id_counts(draw):
+    ids = sorted(draw(st.sets(st.integers(0, 15), max_size=8)))
+    counts = [draw(st.integers(1, 5)) for _ in ids]
+    return ids, counts
+
+
+@given(want=id_counts(), have=id_counts())
+@settings(max_examples=150, deadline=None)
+def test_multiset_missing_matches_counter_deficit(want, have):
+    want_ids, want_counts = want
+    have_ids, have_counts = have
+    got = multiset_missing(
+        np.array(want_ids, dtype=np.int64),
+        np.array(want_counts, dtype=np.int64),
+        np.array(have_ids, dtype=np.int64),
+        np.array(have_counts, dtype=np.int64),
+    )
+    held = Counter(dict(zip(have_ids, have_counts)))
+    expected = [
+        max(count - held.get(cid, 0), 0)
+        for cid, count in zip(want_ids, want_counts)
+    ]
+    assert got.tolist() == expected
+
+
+def test_multiset_missing_empty_have():
+    got = multiset_missing(
+        np.array([1, 3], dtype=np.int64),
+        np.array([2, 4], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+    )
+    assert got.tolist() == [2, 4]
+
+
+# -- ColorBucket vs PendingPool: the full deadline-bucket model -------------------
+
+
+@st.composite
+def bucket_ops(draw):
+    """A random op sequence exercising every bucket entry point."""
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        op = draw(st.sampled_from(
+            ["add", "pop", "peek", "drop", "remove", "earliest", "bulk"]
+        ))
+        if op == "add":
+            ops.append(("add", (draw(st.integers(0, 20)),
+                                draw(st.sampled_from([1, 2, 4, 8])))))
+        elif op == "bulk":
+            batch = [
+                (draw(st.integers(0, 20)), draw(st.sampled_from([1, 2, 4, 8])))
+                for _ in range(draw(st.integers(0, 6)))
+            ]
+            ops.append(("bulk", batch))
+        elif op == "drop":
+            ops.append(("drop", draw(st.integers(0, 30))))
+        elif op == "pop":
+            ops.append(("pop", draw(st.integers(1, 3))))
+        else:
+            ops.append((op, None))
+    return ops
+
+
+@given(ops=bucket_ops())
+@settings(max_examples=200, deadline=None)
+def test_bucket_matches_pending_pool(ops):
+    pool = PendingPool(0)
+    bucket = ColorBucket(0)
+    by_uid: dict[int, Job] = {}
+
+    for op, arg in ops:
+        if op == "add":
+            arrival, bound = arg
+            job = J(0, arrival, bound)
+            by_uid[job.uid] = job
+            pool.add(job)
+            bucket.add(job)
+        elif op == "bulk":
+            jobs = [J(0, a, b) for a, b in arg]
+            for job in jobs:
+                by_uid[job.uid] = job
+                pool.add(job)
+            dl = np.array([j.deadline for j in jobs], dtype=np.int64)
+            db = np.array([j.delay_bound for j in jobs], dtype=np.int64)
+            uid = np.array([j.uid for j in jobs], dtype=np.int64)
+            bucket.append_run(*sort_run(dl, db, uid))
+        elif op == "pop":
+            m = min(arg, len(pool))
+            expected = [pool.pop().uid for _ in range(m)]
+            assert bucket.pop_front_n(m) == expected
+        elif op == "peek":
+            peeked = pool.peek()
+            assert bucket.peek_uid() == (peeked.uid if peeked else None)
+        elif op == "earliest":
+            assert bucket.earliest_deadline() == pool.earliest_deadline()
+        elif op == "remove":
+            pending = pool.pending_jobs()
+            if pending:
+                victim = pending[len(pending) // 2]
+                pool.remove(victim)
+                bucket.remove(victim)
+        elif op == "drop":
+            expected = [j.uid for j in pool.drop_expired(arg)]
+            assert bucket.drop_front_expired(arg) == expected
+        assert len(bucket) == len(pool)
+        assert bucket.idle == pool.idle
+
+    # Final state: identical pending membership in identical rank order.
+    assert bucket.live_uids() == [j.uid for j in pool.pending_jobs()]
+    for job in by_uid.values():
+        assert (job in bucket) == (job in pool)
+
+
+def test_empty_bucket_edges():
+    bucket = ColorBucket("c")
+    assert len(bucket) == 0
+    assert bucket.idle
+    assert bucket.peek_uid() is None
+    assert bucket.earliest_deadline() is None
+    assert bucket.drop_front_expired(100) == []
+    assert bucket.pop_front_n(0) == []
+    assert bucket.live_uids() == []
+
+
+def test_pop_more_than_live_raises():
+    bucket = ColorBucket(0)
+    bucket.add(J(0, 0, 4))
+    with pytest.raises(IndexError):
+        bucket.pop_front_n(2)
+
+
+def test_wrong_color_add_raises():
+    bucket = ColorBucket(0)
+    with pytest.raises(ValueError):
+        bucket.add(J(1, 0, 4))
+
+
+# -- the remove() KeyError guard (satellite regression tests) ---------------------
+
+
+class TestRemoveGuard:
+    """ColorBucket.remove mirrors PendingPool.remove's KeyError contract."""
+
+    def test_remove_never_added_raises(self):
+        bucket = ColorBucket(0)
+        stranger = J(0, 0, 4)
+        with pytest.raises(KeyError, match="not pending"):
+            bucket.remove(stranger)
+
+    def test_double_remove_raises(self):
+        bucket = ColorBucket(0)
+        a, b = J(0, 0, 4), J(0, 1, 4)
+        bucket.add(a)
+        bucket.add(b)
+        bucket.remove(a)
+        with pytest.raises(KeyError, match=f"job {a.uid} is not pending"):
+            bucket.remove(a)
+        assert len(bucket) == 1  # the failed remove must not corrupt live
+
+    def test_remove_after_pop_raises(self):
+        bucket = ColorBucket(0)
+        job = J(0, 0, 4)
+        bucket.add(job)
+        assert bucket.pop_front_n(1) == [job.uid]
+        with pytest.raises(KeyError):
+            bucket.remove(job)
+
+    def test_remove_after_drop_raises(self):
+        bucket = ColorBucket(0)
+        job = J(0, 0, 2)
+        bucket.add(job)
+        assert bucket.drop_front_expired(job.deadline) == [job.uid]
+        with pytest.raises(KeyError):
+            bucket.remove(job)
+
+    def test_remove_matches_pool_message(self):
+        # Same message shape as PendingPool.remove, so callers switching
+        # engines see the same diagnostics.
+        pool, bucket = PendingPool("x"), ColorBucket("x")
+        job = J("x", 0, 4)
+        with pytest.raises(KeyError) as pool_err:
+            pool.remove(job)
+        with pytest.raises(KeyError) as bucket_err:
+            bucket.remove(job)
+        assert str(pool_err.value) == str(bucket_err.value)
+
+    def test_store_remove_out_of_range_uid(self):
+        store = ArrayPendingStore()
+        store.add(J(0, 0, 4))
+        ghost = J(0, 0, 4)  # fresh uid the store never saw
+        with pytest.raises(KeyError):
+            store.pool(0).remove(ghost)
+
+
+# -- store-level parity: idle flips and creation order ----------------------------
+
+
+@st.composite
+def store_script(draw):
+    """Interleaved multi-color adds/drops/executes over a few rounds."""
+    script = []
+    colors = draw(st.integers(1, 3))
+    for rnd in range(draw(st.integers(1, 8))):
+        adds = [
+            (draw(st.integers(0, colors - 1)), rnd,
+             draw(st.sampled_from([1, 2, 4])))
+            for _ in range(draw(st.integers(0, 4)))
+        ]
+        script.append((rnd, adds, draw(st.integers(0, colors - 1))))
+    return script
+
+
+@given(script=store_script())
+@settings(max_examples=150, deadline=None)
+def test_store_matches_pending_store(script):
+    ref = PendingStore()
+    arr = ArrayPendingStore()
+    for rnd, adds, exec_color in script:
+        dropped_ref = [j.uid for j in ref.drop_expired(rnd)]
+        dropped_arr = [j.uid for j in arr.drop_expired(rnd)]
+        assert dropped_arr == dropped_ref
+        for color, arrival, bound in adds:
+            job = J(color, arrival, bound)
+            clone = Job(
+                color=color, arrival=arrival, delay_bound=bound, uid=job.uid
+            )
+            ref.add(job)
+            arr.add(clone)
+        got_ref = ref.execute_one(exec_color)
+        got_arr = arr.execute_one(exec_color)
+        assert (got_arr.uid if got_arr else None) == (
+            got_ref.uid if got_ref else None
+        )
+        assert arr.nonidle_colors() == ref.nonidle_colors()
+        assert arr.take_idle_flips() == ref.take_idle_flips()
+        assert arr.pending_count() == ref.pending_count()
+    assert [j.uid for j in arr.all_pending()] == [
+        j.uid for j in ref.all_pending()
+    ]

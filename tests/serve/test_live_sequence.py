@@ -9,6 +9,7 @@ engines and both paper speeds.
 import pytest
 
 from repro.core import LiveSequence, LiveSequenceError, Simulator, result_digest
+from repro.core.engine import ENGINES, make_simulator
 from repro.core.job import Job
 from repro.policies import make_policy
 from repro.workloads import poisson_workload
@@ -93,25 +94,26 @@ class TestAdmission:
 class TestLiveReplayDeterminism:
     """Live push-and-step must be bit-identical to the offline run."""
 
-    @pytest.mark.parametrize("incremental", [True, False])
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("speed", [1, 2])
-    def test_digest_matches_offline_run(self, incremental, speed):
+    def test_digest_matches_offline_run(self, engine, speed):
+        incremental = engine != "reference"
         instance = poisson_workload(delta=4, seed=11, horizon=96)
-        offline = Simulator(
+        offline = make_simulator(
             instance,
             make_policy("dlru-edf", 4, incremental=incremental),
-            n=8,
+            8,
+            engine=engine,
             speed=speed,
-            incremental=incremental,
         ).run()
 
         live = LiveSequence()
-        sim = Simulator(
+        sim = make_simulator(
             live.as_instance(4),
             make_policy("dlru-edf", 4, incremental=incremental),
-            n=8,
+            8,
+            engine=engine,
             speed=speed,
-            incremental=incremental,
         )
         for rnd in range(instance.horizon):
             for job in instance.sequence.request(rnd):
@@ -119,6 +121,32 @@ class TestLiveReplayDeterminism:
             sim.step(rnd)
 
         assert result_digest(sim.run(horizon=0)) == result_digest(offline)
+
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_live_digest_agrees_across_engines(self, speed):
+        # The engine axis collapses: one workload, fed live, must produce
+        # one digest no matter which engine ran it.
+        # One instance (uids come from a process-global counter, so every
+        # engine must replay the very same frozen jobs).
+        instance = poisson_workload(delta=4, seed=23, horizon=96)
+        digests = set()
+        for engine in ENGINES:
+            live = LiveSequence()
+            sim = make_simulator(
+                live.as_instance(4),
+                make_policy(
+                    "dlru-edf", 4, incremental=engine != "reference"
+                ),
+                8,
+                engine=engine,
+                speed=speed,
+            )
+            for rnd in range(instance.horizon):
+                for job in instance.sequence.request(rnd):
+                    live.push(job)
+                sim.step(rnd)
+            digests.add(result_digest(sim.run(horizon=0)))
+        assert len(digests) == 1
 
     def test_early_push_of_whole_workload_is_equivalent(self):
         # Buffering every job up front (arrivals still in the future) must
