@@ -248,8 +248,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-shard in-flight job bound; submits beyond "
                          "it are rejected with reason 'backpressure'")
     p_serve.add_argument("--journal", default=None, metavar="PATH",
-                         help="fsynced JSONL session journal (accepted "
-                         "submits and round results)")
+                         help="write-ahead JSONL session journal (submit "
+                         "intents, commit markers, round results)")
+    p_serve.add_argument("--workers", action="store_true",
+                         help="run each shard in its own supervised worker "
+                         "process with journal-replay failover")
+    p_serve.add_argument("--worker-retries", type=int, default=2,
+                         metavar="N",
+                         help="respawn attempts per worker per operation "
+                         "before the session fails (default: 2)")
+    p_serve.add_argument("--worker-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-attempt budget before a hung shard worker "
+                         "is killed and respawned (default: 30)")
+    p_serve.add_argument("--inject-faults", default=None, metavar="PLAN",
+                         help="fault plan (inline JSON or a path) installed "
+                         "in shard workers; REPRO_FAULT_PLAN also works")
     p_serve.add_argument("--port-file", default=None, metavar="PATH",
                          help="write the bound ports as JSON once listening "
                          "(what the CI smoke leg and tests poll for)")
@@ -621,6 +635,10 @@ def _main(argv: Sequence[str] | None = None) -> int:
             max_pending=args.max_pending,
             journal=args.journal,
             port_file=args.port_file,
+            workers=args.workers,
+            worker_retries=args.worker_retries,
+            worker_timeout=args.worker_timeout,
+            fault_plan=args.inject_faults,
         )
         try:
             return serve_forever(config, quiet=args.quiet)

@@ -48,8 +48,8 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Sequence
 
 from repro import faults
-from repro.experiments.seeds import derive_unit
 from repro.telemetry.recorder import get_recorder
+from repro.utils.procs import PipeWorker, retry_backoff
 
 __all__ = [
     "SupervisorConfig",
@@ -118,14 +118,17 @@ class TaskOutcome:
 def backoff_delay(config: SupervisorConfig, label: str, attempt: int) -> float:
     """Delay before retry number ``attempt`` (1-based) of ``label``.
 
-    ``min(cap, base·2^(attempt-1))`` scaled by a jitter factor in
-    ``[0.5, 1.0)`` drawn from the blake2b unit stream — deterministic per
-    ``(seed, label, attempt)``, so two runs of the same plan back off
-    identically while distinct tasks still decorrelate.
+    Delegates to :func:`repro.utils.procs.retry_backoff` — the shared
+    deterministic schedule (exponential with blake2b jitter) also used by
+    the serve layer's shard-worker failover.
     """
-    raw = min(config.backoff_cap, config.backoff_base * (2.0 ** (attempt - 1)))
-    jitter = 0.5 + 0.5 * derive_unit(config.backoff_seed, "backoff", label, attempt)
-    return raw * jitter
+    return retry_backoff(
+        config.backoff_seed,
+        label,
+        attempt,
+        base=config.backoff_base,
+        cap=config.backoff_cap,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -164,52 +167,18 @@ def _worker_main(conn, fault_plan_json: str | None) -> None:
     conn.close()
 
 
-class _Worker:
-    """One supervised child process and its duplex pipe."""
-
-    __slots__ = ("process", "conn", "idx", "deadline")
+class _Worker(PipeWorker):
+    """One supervised task worker: the shared pipe lifecycle plus the
+    in-flight task slot the supervisor's scheduler tracks."""
 
     def __init__(self, ctx, fault_plan_json: str | None):
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
-            target=_worker_main, args=(child_conn, fault_plan_json), daemon=True
-        )
-        self.process.start()
-        child_conn.close()
-        self.conn = parent_conn
+        super().__init__(ctx, _worker_main, (fault_plan_json,))
         self.idx: int | None = None  # task index in flight
         self.deadline: float | None = None
 
     @property
     def busy(self) -> bool:
         return self.idx is not None
-
-    def kill(self) -> None:
-        """SIGKILL + reap; safe on an already-dead process."""
-        try:
-            self.process.kill()
-        except (OSError, ValueError):
-            pass
-        self.process.join(timeout=5.0)
-        try:
-            self.conn.close()
-        except OSError:
-            pass
-
-    def stop(self) -> None:
-        """Polite shutdown; falls back to kill if the worker won't exit."""
-        try:
-            self.conn.send(None)
-        except (OSError, ValueError, BrokenPipeError):
-            pass
-        self.process.join(timeout=1.0)
-        if self.process.is_alive():
-            self.kill()
-        else:
-            try:
-                self.conn.close()
-            except OSError:
-                pass
 
 
 # ---------------------------------------------------------------------------

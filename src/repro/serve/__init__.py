@@ -10,7 +10,10 @@ scheduled by the exact four-phase round engine — so a live session's run
 digests are reproducible offline, which ``repro loadgen --verify``
 (:mod:`~repro.serve.loadgen`) checks end to end.  The asyncio server
 (:mod:`~repro.serve.server`) also exposes ``/metrics`` and ``/healthz``
-over HTTP via the telemetry layer.
+over HTTP via the telemetry layer.  With ``workers`` enabled, each
+shard runs in its own supervised worker process
+(:mod:`~repro.serve.workers`) with write-ahead journal replay on
+failover (:mod:`~repro.serve.journal`).
 """
 
 from repro.serve.loadgen import LoadgenError, LoadgenReport, run_loadgen, verify_offline
@@ -22,6 +25,12 @@ from repro.serve.protocol import (
     job_from_wire,
     job_to_wire,
 )
+from repro.serve.journal import (
+    JOURNAL_SCHEMA,
+    read_records,
+    replay_session,
+    replay_shard,
+)
 from repro.serve.server import SchedulingServer, ServeConfig, serve_forever
 from repro.serve.session import (
     AdmissionError,
@@ -30,8 +39,10 @@ from repro.serve.session import (
     shard_of,
     split_capacity,
 )
+from repro.serve.workers import WorkerShardedSession
 
 __all__ = [
+    "JOURNAL_SCHEMA",
     "PROTOCOL",
     "AdmissionError",
     "LoadgenError",
@@ -41,10 +52,14 @@ __all__ = [
     "ServeConfig",
     "SessionShard",
     "ShardedSession",
+    "WorkerShardedSession",
     "decode_frame",
     "encode_frame",
     "job_from_wire",
     "job_to_wire",
+    "read_records",
+    "replay_session",
+    "replay_shard",
     "run_loadgen",
     "serve_forever",
     "shard_of",

@@ -10,6 +10,18 @@ failure, not a slow run.  Writes ``BENCH_serve.json``::
 
 Scales: ``quick`` keeps CI under a few seconds; ``full`` runs longer
 horizons and the full shard ladder.
+
+The ``heavy-*`` pair is the multi-process gate: the same 64-color
+rate-8 workload through a single-process 1-shard server and through
+4 shard worker processes (``--workers``).  ``workers_gate`` in the
+payload is True iff the worker configuration's throughput strictly
+beats the single-process baseline — per-round simulator work has to
+outweigh the pipe round-trip for multi-process serve to earn its keep,
+and this is the benchmark that proves it does.  The gate is only
+*enforced* (nonzero exit) when the host has at least 2 CPUs: on a
+single core the worker processes serialize and the comparison measures
+pure IPC overhead, not the architecture.  The payload records ``cpus``
+so a reader can tell which regime a result came from.
 """
 
 from __future__ import annotations
@@ -17,8 +29,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
 import sys
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -28,35 +42,65 @@ from repro.workloads import bursty_workload, poisson_workload
 
 __all__ = ["main", "render", "run_bench"]
 
-SCHEMA = "bench-serve-v1"
+SCHEMA = "bench-serve-v2"
 
-_GENERATORS = {"poisson": poisson_workload, "bursty": bursty_workload}
+def _heavy_workload(**kw):
+    """Enough per-round simulator work that process parallelism pays."""
+    return poisson_workload(num_colors=64, rate=8.0, name="heavy", **kw)
 
-#: (name, workload, shards, speed) per scale; n=16 so every shard ladder
-#: entry keeps per-shard capacity divisible by 4 (DeltaLRU-EDF's rule).
-_CASES: dict[str, list[tuple[str, str, int, int]]] = {
+
+_GENERATORS = {
+    "poisson": poisson_workload,
+    "bursty": bursty_workload,
+    "heavy": _heavy_workload,
+}
+
+#: (name, workload, shards, speed, workers) per scale; n=16 so every
+#: shard ladder entry keeps per-shard capacity divisible by 4
+#: (DeltaLRU-EDF's rule).  The heavy-1shard / heavy-4shard-workers pair
+#: feeds ``workers_gate``.
+_CASES: dict[str, list[tuple[str, str, int, int, bool]]] = {
     "quick": [
-        ("poisson-1shard", "poisson", 1, 1),
-        ("poisson-2shard", "poisson", 2, 1),
-        ("bursty-2shard", "bursty", 2, 1),
+        ("poisson-1shard", "poisson", 1, 1, False),
+        ("poisson-2shard", "poisson", 2, 1, False),
+        ("bursty-2shard", "bursty", 2, 1, False),
+        ("heavy-1shard", "heavy", 1, 1, False),
+        ("heavy-4shard-workers", "heavy", 4, 1, True),
     ],
     "full": [
-        ("poisson-1shard", "poisson", 1, 1),
-        ("poisson-2shard", "poisson", 2, 1),
-        ("poisson-4shard", "poisson", 4, 1),
-        ("poisson-2shard-ds", "poisson", 2, 2),
-        ("bursty-2shard", "bursty", 2, 1),
-        ("bursty-4shard", "bursty", 4, 1),
+        ("poisson-1shard", "poisson", 1, 1, False),
+        ("poisson-2shard", "poisson", 2, 1, False),
+        ("poisson-4shard", "poisson", 4, 1, False),
+        ("poisson-4shard-workers", "poisson", 4, 1, True),
+        ("poisson-2shard-ds", "poisson", 2, 2, False),
+        ("bursty-2shard", "bursty", 2, 1, False),
+        ("bursty-4shard", "bursty", 4, 1, False),
+        ("heavy-1shard", "heavy", 1, 1, False),
+        ("heavy-4shard-workers", "heavy", 4, 1, True),
     ],
 }
 
 _HORIZONS = {"quick": 192, "full": 1024}
+#: the heavy workload is ~50x denser per round, so it earns a shorter run.
+_HEAVY_HORIZONS = {"quick": 64, "full": 256}
 
 
 async def _run_case(
-    name: str, workload: str, shards: int, speed: int, horizon: int, seed: int
+    name: str,
+    workload: str,
+    shards: int,
+    speed: int,
+    horizon: int,
+    seed: int,
+    workers: bool = False,
 ) -> dict:
     instance = _GENERATORS[workload](delta=4, seed=seed, horizon=horizon)
+    journal = None
+    if workers:
+        fd, journal = tempfile.mkstemp(
+            prefix="repro-bench-journal-", suffix=".jsonl"
+        )
+        os.close(fd)
     config = ServeConfig(
         n=16,
         delta=4,
@@ -64,6 +108,8 @@ async def _run_case(
         shards=shards,
         speed=speed,
         metrics_port=None,
+        workers=workers,
+        journal=journal,
     )
     server = SchedulingServer(config)
     await server.start()
@@ -74,8 +120,14 @@ async def _run_case(
         )
     finally:
         await server.stop()
+        if journal is not None:
+            try:
+                os.unlink(journal)
+            except OSError:
+                pass
     return {"case": name, "workload": workload, "shards": shards,
-            "speed": speed, "horizon": horizon, **report.as_dict()}
+            "speed": speed, "workers": workers, "horizon": horizon,
+            **report.as_dict()}
 
 
 def run_bench(scale: str = "quick", seed: int = 0) -> dict:
@@ -83,31 +135,48 @@ def run_bench(scale: str = "quick", seed: int = 0) -> dict:
     if scale not in _CASES:
         raise ValueError(f"scale must be one of {sorted(_CASES)}, got {scale!r}")
     cases = []
-    for name, workload, shards, speed in _CASES[scale]:
+    for name, workload, shards, speed, workers in _CASES[scale]:
+        horizon = (
+            _HEAVY_HORIZONS[scale] if workload == "heavy" else _HORIZONS[scale]
+        )
         cases.append(asyncio.run(
-            _run_case(name, workload, shards, speed, _HORIZONS[scale], seed)
+            _run_case(
+                name, workload, shards, speed, horizon, seed, workers=workers
+            )
         ))
+    by_name = {c["case"]: c for c in cases}
+    workers_gate = None
+    if "heavy-1shard" in by_name and "heavy-4shard-workers" in by_name:
+        workers_gate = (
+            by_name["heavy-4shard-workers"]["jobs_per_second"]
+            > by_name["heavy-1shard"]["jobs_per_second"]
+        )
+    cpus = os.cpu_count() or 1
     return {
         "schema": SCHEMA,
         "scale": scale,
         "seed": seed,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpus": cpus,
         "cases": cases,
         "all_digests_match": all(c["digests_match"] for c in cases),
+        "workers_gate": workers_gate,
+        "workers_gate_enforced": workers_gate is not None and cpus >= 2,
     }
 
 
 def render(payload: dict) -> str:
     lines = [
         f"serve benchmark ({payload['scale']}, python {payload['python']})",
-        f"{'case':<20} {'jobs/s':>9} {'rounds/s':>9} "
+        f"{'case':<22} {'procs':>6} {'jobs/s':>9} {'rounds/s':>9} "
         f"{'p50 ms':>8} {'p99 ms':>8} {'digest':>8}",
     ]
     for case in payload["cases"]:
         lat = case["latency_ms"]
+        procs = case["shards"] + 1 if case.get("workers") else 1
         lines.append(
-            f"{case['case']:<20} {case['jobs_per_second']:>9.0f} "
+            f"{case['case']:<22} {procs:>6} {case['jobs_per_second']:>9.0f} "
             f"{case['rounds_per_second']:>9.0f} {lat['p50']:>8.3f} "
             f"{lat['p99']:>8.3f} "
             f"{'match' if case['digests_match'] else 'MISMATCH':>8}"
@@ -115,6 +184,19 @@ def render(payload: dict) -> str:
     lines.append(
         "all digests match: " + ("yes" if payload["all_digests_match"] else "NO")
     )
+    gate = payload.get("workers_gate")
+    if gate is not None:
+        note = (
+            ""
+            if payload.get("workers_gate_enforced", True)
+            else f" (informational: only {payload.get('cpus', 1)} CPU, "
+            "worker processes cannot run in parallel)"
+        )
+        lines.append(
+            "workers beat the single-process baseline: "
+            + ("yes" if gate else "NO")
+            + note
+        )
     return "\n".join(lines)
 
 
@@ -128,7 +210,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(render(payload))
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
-    return 0 if payload["all_digests_match"] else 1
+    ok = payload["all_digests_match"] and not (
+        payload["workers_gate_enforced"] and payload["workers_gate"] is False
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -92,6 +92,9 @@ class LoadgenReport:
                 "max": max(lat) * 1e3 if lat else 0.0,
             },
             "digests_match": self.digests_match,
+            # Included so two runs' reports can be compared digest for
+            # digest (the chaos-serve drill does exactly that).
+            "server_digests": self.server_digests,
             "params": self.params,
         }
 

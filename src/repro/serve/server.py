@@ -24,14 +24,23 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Sequence
 
 from repro.core.job import Job
+from repro.faults.plan import FAULT_PLAN_ENV, FaultPlan
 from repro.policies import make_policy
+from repro.serve.journal import (
+    JOURNAL_SCHEMA,
+    commit_record,
+    round_record,
+    submit_record,
+)
 from repro.serve.protocol import (
     CLIENT_FRAMES,
     MAX_FRAME_BYTES,
@@ -40,14 +49,19 @@ from repro.serve.protocol import (
     decode_frame,
     encode_frame,
     job_from_wire,
-    job_to_wire,
 )
 from repro.serve.session import AdmissionError, ShardedSession
+from repro.serve.workers import WorkerShardedSession
 from repro.telemetry.prom import render_prometheus
 from repro.telemetry.recorder import Recorder, TelemetryRecorder
 from repro.utils.jsonl import JsonlJournal
 
 __all__ = ["ServeConfig", "SchedulingServer", "serve_forever"]
+
+#: cap on one HTTP request's header section (bytes and line count); a
+#: client trickling headers past either gets 431 and the connection closed.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_HEADER_LINES = 100
 
 
 @dataclass
@@ -73,6 +87,20 @@ class ServeConfig:
     journal: str | None = None
     port_file: str | None = None
     name: str = "serve"
+    #: run every shard in its own supervised worker process
+    #: (:class:`~repro.serve.workers.WorkerShardedSession`).  Requires a
+    #: journal; one is created under the system temp dir if unset.
+    workers: bool = False
+    #: respawn attempts per worker per op before the session fails.
+    worker_retries: int = 2
+    #: per-attempt seconds before a hung worker is SIGKILLed.
+    worker_timeout: float = 30.0
+    #: fault plan (inline JSON or path) installed in shard workers; falls
+    #: back to the REPRO_FAULT_PLAN environment variable.
+    fault_plan: str | None = None
+    #: a subscriber whose transport write buffer exceeds this many bytes
+    #: is dropped instead of growing server memory without bound.
+    subscriber_buffer_limit: int = 1 << 20
 
     def __post_init__(self) -> None:
         from repro.core.engine import resolve_engine
@@ -89,6 +117,27 @@ class ServeConfig:
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.worker_retries < 0:
+            raise ValueError(
+                f"worker_retries must be >= 0, got {self.worker_retries}"
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+        if self.subscriber_buffer_limit < 1:
+            raise ValueError(
+                f"subscriber_buffer_limit must be >= 1, "
+                f"got {self.subscriber_buffer_limit}"
+            )
+        if self.workers and not self.journal:
+            # Workers cannot fail over without a journal to replay; give
+            # them one even when the operator didn't ask for durability.
+            fd, path = tempfile.mkstemp(
+                prefix="repro-serve-journal-", suffix=".jsonl"
+            )
+            os.close(fd)
+            self.journal = path
 
 
 class SchedulingServer:
@@ -103,28 +152,56 @@ class SchedulingServer:
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryRecorder()
         )
-        self.session = ShardedSession(
-            n=config.n,
-            delta=config.delta,
-            policy_factory=lambda: make_policy(
-                config.policy, config.delta, incremental=config.incremental
-            ),
-            shards=config.shards,
-            speed=config.speed,
-            engine=config.engine,
-            max_pending=config.max_pending,
-            telemetry=self.telemetry,
-            name=config.name,
-        )
+        if config.workers:
+            raw_plan = config.fault_plan or os.environ.get(FAULT_PLAN_ENV)
+            self.session: ShardedSession | WorkerShardedSession = (
+                WorkerShardedSession(
+                    n=config.n,
+                    delta=config.delta,
+                    policy=config.policy,
+                    journal_path=config.journal,
+                    shards=config.shards,
+                    speed=config.speed,
+                    engine=config.engine,
+                    max_pending=config.max_pending,
+                    telemetry=self.telemetry,
+                    name=config.name,
+                    retries=config.worker_retries,
+                    timeout=config.worker_timeout,
+                    fault_plan_json=(
+                        FaultPlan.from_arg(raw_plan).to_json()
+                        if raw_plan
+                        else None
+                    ),
+                )
+            )
+        else:
+            self.session = ShardedSession(
+                n=config.n,
+                delta=config.delta,
+                policy_factory=lambda: make_policy(
+                    config.policy, config.delta, incremental=config.incremental
+                ),
+                shards=config.shards,
+                speed=config.speed,
+                engine=config.engine,
+                max_pending=config.max_pending,
+                telemetry=self.telemetry,
+                name=config.name,
+            )
+        # The journal opens (and truncates) only after the workers forked:
+        # a respawn replays this file, a fresh spawn must not.
         self.journal = (
             JsonlJournal(config.journal, truncate=True)
             if config.journal
             else None
         )
+        self._submit_seq = 0
         self._server: asyncio.AbstractServer | None = None
         self._metrics_server: asyncio.AbstractServer | None = None
         self._timer_task: asyncio.Task | None = None
         self._subscribers: list[asyncio.StreamWriter] = []
+        self._writers: set[asyncio.StreamWriter] = set()
         self._stopping = asyncio.Event()
         self.port: int | None = None
         self.metrics_port: int | None = None
@@ -162,7 +239,7 @@ class SchedulingServer:
         if self.journal is not None:
             self.journal.append({
                 "kind": "header",
-                "schema": "repro-serve-journal-v1",
+                "schema": JOURNAL_SCHEMA,
                 "proto": PROTOCOL,
                 **self._session_params(),
             })
@@ -186,6 +263,21 @@ class SchedulingServer:
                 server.close()
                 await server.wait_closed()
         self._server = self._metrics_server = None
+        # A client parked in readline() would otherwise keep its handler
+        # coroutine alive until loop teardown; closing the transport
+        # delivers EOF and lets every handler finish now.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+        self._subscribers.clear()
         self.session.close()
         if self.journal is not None:
             self.journal.append({"kind": "shutdown", "round": self.session.round})
@@ -212,7 +304,10 @@ class SchedulingServer:
                 telem.count("repro_serve_ticks_total")
                 telem.gauge("repro_serve_pending_jobs", result["pending"])
             if self.journal is not None:
-                self.journal.append({"kind": "round", **result})
+                # Flushed, not fsynced: worker failover only needs the
+                # record visible to a replaying child on this machine,
+                # and the next fsynced submit intent lands it durably.
+                self.journal.append(round_record(result), sync=False)
             frames.append({"type": "result", **result})
         return frames
 
@@ -228,9 +323,22 @@ class SchedulingServer:
 
     def _broadcast(self, frame: dict) -> None:
         payload = encode_frame(frame)
+        limit = self.config.subscriber_buffer_limit
+        telem = self.telemetry
         alive = []
         for writer in self._subscribers:
             if writer.is_closing():
+                continue
+            transport = writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size() > limit
+            ):
+                # A subscriber that stopped reading would buffer result
+                # frames in server memory forever; cut it loose instead.
+                if telem.enabled:
+                    telem.count("repro_serve_subscribers_dropped_total")
+                writer.close()
                 continue
             writer.write(payload)
             alive.append(writer)
@@ -352,7 +460,7 @@ class SchedulingServer:
                 "message": str(exc),
             }
         try:
-            self.session.submit(jobs)
+            self.session.validate(jobs)
         except AdmissionError as exc:
             if telem.enabled:
                 telem.count(
@@ -365,14 +473,21 @@ class SchedulingServer:
                 "message": str(exc),
                 "index": exc.index,
             }
+        # Write-ahead: the fsynced intent plus its commit marker are on
+        # disk *before* the commit touches any shard, so a crash at any
+        # point either loses an unacknowledged batch entirely (no
+        # marker) or replays it exactly once — never silently drops an
+        # admitted one.
+        self._submit_seq += 1
+        if self.journal is not None:
+            self.journal.append(
+                submit_record(self._submit_seq, self.session.round, jobs),
+                sync=True,
+            )
+            self.journal.append(commit_record(self._submit_seq), sync=False)
+        self.session.commit(jobs)
         if telem.enabled:
             telem.count("repro_serve_jobs_total", len(jobs))
-        if self.journal is not None:
-            self.journal.append({
-                "kind": "submit",
-                "round": self.session.round,
-                "jobs": [job_to_wire(job) for job in jobs],
-            })
         return {
             "type": "accept",
             "id": submit_id,
@@ -386,6 +501,7 @@ class SchedulingServer:
         telem = self.telemetry
         if telem.enabled:
             telem.count("repro_serve_connections_total")
+        self._writers.add(writer)
         try:
             while not self._stopping.is_set():
                 try:
@@ -410,7 +526,18 @@ class SchedulingServer:
                     }))
                     await writer.drain()
                     continue
-                replies, keep_open = self._handle_frame(frame, writer)
+                try:
+                    replies, keep_open = self._handle_frame(frame, writer)
+                except RuntimeError as exc:
+                    # A failed worker session (shard unavailable past its
+                    # retry budget) poisons every further op; tell the
+                    # client once and hang up.
+                    replies = [{
+                        "type": "error",
+                        "code": "session_failed",
+                        "message": str(exc),
+                    }]
+                    keep_open = False
                 for reply in replies:
                     writer.write(encode_frame(reply))
                 await writer.drain()
@@ -419,6 +546,7 @@ class SchedulingServer:
         except ConnectionError:
             pass
         finally:
+            self._writers.discard(writer)
             self._subscribers = [
                 w for w in self._subscribers if w is not writer
             ]
@@ -433,15 +561,34 @@ class SchedulingServer:
     async def _handle_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._writers.add(writer)
         try:
             request_line = await reader.readline()
-            while True:  # drain headers; we never need them
+            # Drain headers (we never need them) under a hard cap: a
+            # client trickling header lines forever must not pin this
+            # coroutine or grow memory without bound.
+            header_bytes = 0
+            header_lines = 0
+            oversized = False
+            while True:
                 header = await reader.readline()
                 if header in (b"\r\n", b"\n", b""):
                     break
+                header_bytes += len(header)
+                header_lines += 1
+                if (
+                    header_bytes > MAX_HEADER_BYTES
+                    or header_lines > MAX_HEADER_LINES
+                ):
+                    oversized = True
+                    break
             parts = request_line.decode("latin-1", "replace").split()
             path = parts[1] if len(parts) >= 2 else ""
-            if path.split("?")[0] == "/metrics":
+            if oversized:
+                body = b"header section too large\n"
+                ctype = "text/plain"
+                status = "431 Request Header Fields Too Large"
+            elif path.split("?")[0] == "/metrics":
                 body = render_prometheus(self.telemetry.snapshot()).encode()
                 ctype = "text/plain; version=0.0.4; charset=utf-8"
                 status = "200 OK"
@@ -469,6 +616,7 @@ class SchedulingServer:
         except (ConnectionError, OSError):
             pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()

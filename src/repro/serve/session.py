@@ -210,7 +210,9 @@ class SessionShard:
         return {
             "shard": self.shard_id,
             "n": self.n,
-            "round": self.live.next_round - 1,
+            # Completed rounds so far (>= 0): next_round is the round the
+            # next tick will run, so it doubles as the completed count.
+            "round": self.live.next_round,
             "jobs": self.live.num_jobs,
             "pending": self.pending,
             "ledger": self.sim.ledger.summary(),
@@ -287,16 +289,17 @@ class ShardedSession:
     def shard_for(self, color: Color) -> SessionShard:
         return self.shards[shard_of(color, len(self.shards))]
 
-    def submit(self, jobs: Sequence[Job]) -> None:
-        """Admit a batch atomically; raises :class:`AdmissionError`.
+    def validate(self, jobs: Sequence[Job]) -> None:
+        """Phase 1 of admission: check every rule, touch no state.
 
-        Either every job is accepted (and buffered on its color's shard,
-        in batch order) or none is — partial admission would make replay
-        verification impossible.
+        Raises :class:`AdmissionError` on the first violation (lowest
+        batch index; for one index, sequence rules beat batch-bound
+        consistency beat duplicate detection).  A batch that validates
+        cleanly is guaranteed to :meth:`commit` — the split exists so
+        the server can write the journal intent between the two phases.
         """
         if self._closed:
             raise AdmissionError("closed", "session is closed")
-        # Pass 1: validate everything without touching any state.
         bounds: dict[Color, int] = {}
         load: dict[int, int] = {}
         batch_uids: set[int] = set()
@@ -333,10 +336,27 @@ class ShardedSession:
                     f"in-flight jobs (limit {self.max_pending}); retry after "
                     f"ticking",
                 )
-        # Pass 2: commit, preserving batch order within each shard.
+
+    def commit(self, jobs: Sequence[Job]) -> None:
+        """Phase 2 of admission: buffer a *validated* batch on its shards.
+
+        Preserves batch order within each shard.  Callers must have run
+        :meth:`validate` on exactly this batch with no mutation in
+        between; commit itself cannot fail.
+        """
         for job in jobs:
             self.shard_for(job.color).live.push(job)
-        self._seen_uids.update(batch_uids)
+        self._seen_uids.update(job.uid for job in jobs)
+
+    def submit(self, jobs: Sequence[Job]) -> None:
+        """Admit a batch atomically; raises :class:`AdmissionError`.
+
+        Either every job is accepted (and buffered on its color's shard,
+        in batch order) or none is — partial admission would make replay
+        verification impossible.
+        """
+        self.validate(jobs)
+        self.commit(jobs)
 
     def tick(self) -> dict:
         """Advance every shard one round; returns the merged result frame."""
@@ -366,7 +386,8 @@ class ShardedSession:
 
     def stats(self) -> dict:
         return {
-            "round": self.round - 1,
+            # Count of completed rounds (>= 0), never -1 before first tick.
+            "round": self.round,
             "shards": [shard.stats() for shard in self.shards],
             "pending": self.pending,
             "jobs": sum(s.live.num_jobs for s in self.shards),

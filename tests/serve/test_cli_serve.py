@@ -78,6 +78,45 @@ class TestServeSmoke:
         assert report["rounds"] >= 96
         assert report["params"]["shards"] == 2
 
+    def test_sigterm_hangs_up_idle_clients(self, tmp_path):
+        """A client parked on the socket gets EOF when the server is
+        terminated — stop() closes every open connection, so shutdown
+        never waits on idle clients."""
+        import socket
+
+        port_file = tmp_path / "ports.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port-file", str(port_file),
+                "--n", "8", "--delta", "1", "--policy", "edf",
+                "--quiet",
+            ],
+            env=serve_env(),
+            cwd=REPO,
+        )
+        try:
+            wait_for(port_file)
+            ports = json.loads(port_file.read_text())
+            with socket.create_connection(
+                ("127.0.0.1", ports["port"]), timeout=10
+            ) as sock:
+                sock.sendall(b'{"type": "hello"}\n')
+                assert b"welcome" in sock.recv(65536)
+                proc.send_signal(signal.SIGTERM)
+                sock.settimeout(15)
+                # EOF, not a hang: recv drains any close-race bytes then
+                # returns b"".
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=20)
+
     def test_healthz_over_http(self, server):
         import urllib.request
 

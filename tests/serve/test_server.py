@@ -377,3 +377,205 @@ class TestOperationalSurface:
         assert "submit" in kinds
         assert "round" in kinds
         assert kinds[-1] == "shutdown"
+
+
+class TestStatsWireShape:
+    def test_stats_before_first_tick_pins_the_frame(self):
+        """Regression: ``round`` is the completed-round count (>= 0); it
+        used to be derived as next-1 and read -1 on a fresh session."""
+        async def test(server, conn):
+            stats = await conn.call({"type": "stats"})
+            assert stats["round"] == 0
+            assert sorted(stats) == [
+                "closed", "jobs", "pending", "round", "shards", "type",
+            ]
+            for shard_stats in stats["shards"]:
+                assert shard_stats["round"] == 0
+                assert sorted(shard_stats) == [
+                    "digests", "jobs", "ledger", "n", "pending",
+                    "round", "shard",
+                ]
+            await conn.call({"type": "submit", "jobs": [wire_job("a", 1)]})
+            await conn.call({"type": "tick"})
+            stats = await conn.call({"type": "stats"})
+            assert stats["round"] == 1
+            assert all(s["round"] == 1 for s in stats["shards"])
+
+        with_server(test, shards=2)
+
+
+class TestStopClosesClients:
+    def test_idle_client_gets_eof_on_stop(self):
+        """``stop()`` must hang up parked clients, not strand their
+        handler coroutines in ``readline()`` until loop teardown."""
+        async def test(server, conn):
+            welcome = await conn.call({"type": "hello"})
+            assert welcome["type"] == "welcome"
+            reader2, writer2 = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                await server.stop()
+                assert await asyncio.wait_for(conn.reader.readline(), 5) == b""
+                assert await asyncio.wait_for(reader2.readline(), 5) == b""
+            finally:
+                writer2.close()
+                try:
+                    await writer2.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        with_server(test)
+
+
+class _StubTransport:
+    def __init__(self, buffered):
+        self.buffered = buffered
+
+    def get_write_buffer_size(self):
+        return self.buffered
+
+
+class _StubWriter:
+    """Just enough StreamWriter surface for ``_broadcast``."""
+
+    def __init__(self, buffered):
+        self.transport = _StubTransport(buffered)
+        self.closed = False
+        self.payloads = []
+
+    def is_closing(self):
+        return self.closed
+
+    def close(self):
+        self.closed = True
+
+    def write(self, data):
+        self.payloads.append(data)
+
+
+class TestSubscriberBackpressure:
+    def test_broadcast_drops_subscribers_over_the_buffer_limit(self):
+        async def test(server, conn):
+            slow = _StubWriter(buffered=512)
+            fast = _StubWriter(buffered=0)
+            server._subscribers = [slow, fast]
+            server._broadcast({"type": "result", "round": 0})
+            assert slow.closed and not slow.payloads
+            assert not fast.closed and len(fast.payloads) == 1
+            assert server._subscribers == [fast]
+            counters = server.telemetry.snapshot()["counters"]
+            assert counters["repro_serve_subscribers_dropped_total"][""] == 1
+            # A second broadcast is a no-op for the dropped writer.
+            server._broadcast({"type": "result", "round": 1})
+            assert len(fast.payloads) == 2
+            counters = server.telemetry.snapshot()["counters"]
+            assert counters["repro_serve_subscribers_dropped_total"][""] == 1
+            server._subscribers = []
+
+        with_server(test, subscriber_buffer_limit=256)
+
+
+class TestHttpHeaderCap:
+    def test_oversized_header_section_gets_431(self):
+        async def test(server, conn):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.metrics_port
+            )
+            try:
+                writer.write(b"GET /metrics HTTP/1.1\r\n")
+                filler = b"X-Filler: " + b"a" * 1000 + b"\r\n"
+                for _ in range(20):  # ~20 KB > MAX_HEADER_BYTES
+                    writer.write(filler)
+                await writer.drain()
+                status = await reader.readline()
+                assert b"431" in status
+                body = await reader.read()
+                assert b"header section too large" in body
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        with_server(test, metrics_port=0)
+
+    def test_too_many_header_lines_gets_431(self):
+        async def test(server, conn):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.metrics_port
+            )
+            try:
+                writer.write(b"GET /healthz HTTP/1.1\r\n")
+                for i in range(150):  # > MAX_HEADER_LINES
+                    writer.write(b"X-%d: 1\r\n" % i)
+                await writer.drain()
+                status = await reader.readline()
+                assert b"431" in status
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        with_server(test, metrics_port=0)
+
+
+class TestWorkersMode:
+    """The server in front of WorkerShardedSession: same protocol, same
+    digests, plus the write-ahead journal discipline on disk."""
+
+    def test_workers_replay_verifies_offline(self, tmp_path):
+        instance = poisson_workload(delta=4, seed=31, horizon=60)
+        journal = tmp_path / "journal.jsonl"
+
+        async def test(server, conn):
+            await conn.close()
+            return await _replay(
+                "127.0.0.1", server.port, instance,
+                verify=True, expected_delta=True,
+            )
+
+        report = with_server(
+            test,
+            n=16, delta=4, policy="dlru-edf", shards=2,
+            workers=True, worker_timeout=10.0, journal=str(journal),
+        )
+        assert report.digests_match is True
+        assert len(report.server_digests) == 2
+
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "header"
+        assert kinds[-1] == "shutdown"
+        # WAL ordering: every submit intent is followed (eventually) by
+        # its seq's commit marker, and the intent comes first.
+        intents = [r["seq"] for r in records if r["kind"] == "submit"]
+        markers = [r["seq"] for r in records if r["kind"] == "commit"]
+        assert intents == markers == sorted(intents)
+        for seq in intents:
+            i = next(
+                n for n, r in enumerate(records)
+                if r["kind"] == "submit" and r["seq"] == seq
+            )
+            m = next(
+                n for n, r in enumerate(records)
+                if r["kind"] == "commit" and r["seq"] == seq
+            )
+            assert i < m
+
+    def test_workers_need_no_explicit_journal(self):
+        async def test(server, conn):
+            assert server.config.journal  # auto-created temp path
+            reply = await conn.call({
+                "type": "submit", "jobs": [wire_job("a", 1)],
+            })
+            assert reply["type"] == "accept"
+            result = await conn.call({"type": "tick"})
+            assert result["executed"]
+
+        with_server(test, workers=True, worker_timeout=10.0)

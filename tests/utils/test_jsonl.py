@@ -2,7 +2,14 @@
 
 import json
 
-from repro.utils.jsonl import JsonlJournal, append_jsonl, json_line
+import pytest
+
+from repro.utils.jsonl import (
+    JsonlJournal,
+    append_jsonl,
+    json_line,
+    read_jsonl,
+)
 
 
 class TestJsonLine:
@@ -70,3 +77,44 @@ class TestJsonlJournal:
         assert journal.healthy is False
         assert journal.append({"x": 1}) is False
         journal.close()
+
+    def test_sync_override_still_flushes(self, tmp_path):
+        # sync=False skips the fsync but the record must still reach the
+        # OS (flush): another process reading the file sees it at once,
+        # which is exactly what worker-failover replay relies on.
+        path = tmp_path / "j.jsonl"
+        journal = JsonlJournal(path, truncate=True)
+        try:
+            assert journal.append({"x": 1}, sync=False)
+            assert read_jsonl(path) == [{"x": 1}]
+            assert journal.append({"x": 2}, sync=True)
+            assert read_jsonl(path) == [{"x": 1}, {"x": 2}]
+        finally:
+            journal.close()
+
+
+class TestReadJsonl:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "nope.jsonl") == []
+
+    def test_reads_records_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')  # blank lines skipped
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\n{"b": ')  # no trailing newline
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\ngarbage\n{"b": 2}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(path)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_jsonl(path)
