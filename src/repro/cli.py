@@ -211,6 +211,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="render a previously saved snapshot (a raw "
                            "metrics snapshot or a runner_stats.json with a "
                            "'telemetry' section) instead of running anything")
+    p_metrics.add_argument("--url", default=None, metavar="METRICS_URL",
+                           help="scrape a live /metrics endpoint (e.g. "
+                           "http://HOST:PORT/metrics from 'repro serve') and "
+                           "render it instead of running anything")
     p_metrics.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
                            help="also write the structured run trace (JSONL) "
                            "to this path")
@@ -250,6 +254,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--journal", default=None, metavar="PATH",
                          help="write-ahead JSONL session journal (submit "
                          "intents, commit markers, round results)")
+    p_serve.add_argument("--spans", default=None, metavar="OUT_JSONL",
+                         help="record request-scoped spans (repro-trace-v2 "
+                         "JSONL): submit -> admit -> wal -> commit -> "
+                         "execute/drop trees, one per batch; render with "
+                         "'repro spans'")
+    p_serve.add_argument("--metrics-interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="background worker-telemetry scrape period in "
+                         "--workers mode (0 = scrape only when /metrics is "
+                         "hit; default: 2)")
     p_serve.add_argument("--workers", action="store_true",
                          help="run each shard in its own supervised worker "
                          "process with journal-replay failover")
@@ -292,6 +306,36 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="skip the offline digest verification")
     p_load.add_argument("--json", default=None, metavar="OUT",
                         help="also write the full report as JSON")
+
+    p_spans = sub.add_parser(
+        "spans",
+        help="render request-scoped span traces (repro-trace-v2, from "
+        "'repro serve --spans') as per-request trees",
+    )
+    p_spans.add_argument("file", help="span JSONL written by 'repro serve --spans'")
+    p_spans.add_argument("--trace", default=None, metavar="TRACE_ID",
+                         help="render only this trace (e.g. t000003)")
+    p_spans.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="render only the last N traces")
+    p_spans.add_argument("--json", action="store_true",
+                         help="emit normalized span records (wall_ms stripped) "
+                         "as JSONL instead of trees")
+
+    p_top = sub.add_parser(
+        "top",
+        help="live per-shard ops table polled from a running server's "
+        "/metrics endpoint",
+    )
+    p_top.add_argument("--url", default=None, metavar="METRICS_URL",
+                       help="full /metrics URL (overrides --port-file)")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port-file", default=None, metavar="PATH",
+                       help="read metrics_port from a 'repro serve "
+                       "--port-file' JSON document")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS", help="refresh period (default: 2)")
+    p_top.add_argument("--count", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (0 = until interrupted)")
     return parser
 
 
@@ -361,10 +405,30 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scrape_metrics(url: str) -> dict:
+    """Fetch a live /metrics endpoint and parse it back into a snapshot."""
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry import parse_prometheus
+
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise SystemExit(f"cannot scrape {url}: {exc}")
+    return parse_prometheus(text)
+
+
 def _run_metrics_command(args: argparse.Namespace) -> int:
     from repro import telemetry as tele
 
-    if args.input is not None:
+    if args.url is not None and args.input is not None:
+        raise SystemExit("--url and --input are mutually exclusive")
+    if args.url is not None:
+        snapshot = _scrape_metrics(args.url)
+        title = f"telemetry — {args.url}"
+    elif args.input is not None:
         payload = json.loads(Path(args.input).read_text())
         snapshot = payload.get("telemetry", payload)
         if not isinstance(snapshot, dict) or "counters" not in snapshot:
@@ -396,7 +460,7 @@ def _run_metrics_command(args: argparse.Namespace) -> int:
         sys.stdout.write(tele.render_prometheus(snapshot))
     else:
         print(tele.render_table(snapshot, title=title).render())
-        if args.input is None and args.telemetry:
+        if args.input is None and args.url is None and args.telemetry:
             print(f"\nwrote telemetry trace to {args.telemetry}")
     return 0
 
@@ -444,6 +508,153 @@ def _run_loadgen_command(args: argparse.Namespace) -> int:
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out}")
     return 0 if payload["digests_match"] in (True, None) else 1
+
+
+def _run_spans_command(args: argparse.Namespace) -> int:
+    from repro.telemetry import normalize_span, read_spans, render_traces
+
+    try:
+        header, spans = read_spans(args.file)
+    except OSError as exc:
+        raise SystemExit(f"repro spans: {exc}")
+    if header is None and not spans:
+        raise SystemExit(
+            f"repro spans: {args.file} holds no repro-trace-v2 records"
+        )
+    if args.json:
+        for span in spans:
+            if args.trace is not None and span.get("trace") != args.trace:
+                continue
+            print(json.dumps(normalize_span(span), sort_keys=True))
+        return 0
+    print(render_traces(spans, trace=args.trace, limit=args.limit))
+    return 0
+
+
+def _render_top(snapshot: Mapping, title: str) -> str:
+    """The ``repro top`` frame: per-shard ops table plus server summary."""
+    from repro.analysis.reporting import Table
+    from repro.telemetry.quantiles import histogram_quantile
+    from repro.telemetry.registry import parse_label_key
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+
+    def by_shard(series: Mapping, combine: Callable) -> dict:
+        out: dict = {}
+        for key, value in series.items():
+            shard = parse_label_key(key).get("shard")
+            if shard is None:
+                continue
+            out[shard] = combine(out[shard], value) if shard in out else value
+        return out
+
+    def add(a, b):
+        return a + b
+
+    def merge_cells(a: dict, b: dict) -> dict:
+        return {
+            "bounds": a["bounds"],
+            "buckets": [x + y for x, y in zip(a["buckets"], b["buckets"])],
+            "sum": a["sum"] + b["sum"],
+            "count": a["count"] + b["count"],
+        }
+
+    rounds = by_shard(counters.get("repro_rounds_total", {}), add)
+    pending = by_shard(gauges.get("repro_pending_jobs", {}), max)
+    drops = by_shard(counters.get("repro_drops_total", {}), add)
+    execs = by_shard(counters.get("repro_executions_total", {}), add)
+    respawns = by_shard(
+        counters.get("repro_serve_worker_respawns_total", {}), add
+    )
+    tick = by_shard(
+        histograms.get("repro_serve_round_seconds", {}), merge_cells
+    )
+
+    shards = sorted(
+        set(rounds) | set(pending) | set(drops) | set(execs)
+        | set(respawns) | set(tick),
+        key=lambda s: (not s.isdigit(), int(s) if s.isdigit() else 0, s),
+    )
+    lines = []
+    if shards:
+        table = Table(
+            ["shard", "rounds", "pending", "executed", "dropped",
+             "respawns", "tick p95 ms"],
+            title=title,
+        )
+        for shard in shards:
+            cell = tick.get(shard)
+            table.add_row(
+                shard,
+                rounds.get(shard, 0),
+                int(pending.get(shard, 0)),
+                execs.get(shard, 0),
+                drops.get(shard, 0),
+                respawns.get(shard, 0),
+                f"{histogram_quantile(cell, 0.95) * 1e3:.3f}" if cell else "-",
+            )
+        lines.append(table.render())
+    else:
+        lines.append(f"{title}: no per-shard series yet")
+
+    def total(name: str):
+        return sum(counters.get(name, {}).values())
+
+    summary = [f"ticks {total('repro_serve_ticks_total')}"]
+    cell = histograms.get("repro_serve_round_seconds", {}).get("")
+    if cell:
+        summary.append(
+            f"tick p95 {histogram_quantile(cell, 0.95) * 1e3:.3f}ms "
+            f"p99 {histogram_quantile(cell, 0.99) * 1e3:.3f}ms"
+        )
+    cell = histograms.get("repro_serve_admission_seconds", {}).get("")
+    if cell:
+        summary.append(
+            f"admission p95 {histogram_quantile(cell, 0.95) * 1e3:.3f}ms"
+        )
+    pending_all = gauges.get("repro_serve_pending_jobs", {}).get("")
+    if pending_all is not None:
+        summary.append(f"pending {int(pending_all)}")
+    failures = total("repro_serve_worker_scrape_failures_total")
+    if failures:
+        summary.append(f"scrape failures {failures}")
+    lines.append("server: " + "  |  ".join(summary))
+    return "\n".join(lines)
+
+
+def _run_top_command(args: argparse.Namespace) -> int:
+    import time
+
+    url = args.url
+    if url is None and args.port_file:
+        try:
+            ports = json.loads(Path(args.port_file).read_text())
+            metrics_port = ports["metrics_port"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot read ports from {args.port_file}: {exc}")
+        if metrics_port is None:
+            raise SystemExit(
+                "the server was started without an HTTP listener "
+                "(--metrics-port -1); repro top needs /metrics"
+            )
+        url = f"http://{args.host}:{metrics_port}/metrics"
+    if url is None:
+        raise SystemExit("repro top needs --url or --port-file")
+    refreshed = 0
+    while True:
+        snapshot = _scrape_metrics(url)
+        if refreshed:
+            print()
+        print(_render_top(snapshot, title=f"repro top — {url}"))
+        refreshed += 1
+        if args.count and refreshed >= args.count:
+            return 0
+        try:
+            time.sleep(max(args.interval, 0.05))
+        except KeyboardInterrupt:
+            return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -634,6 +845,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
             round_interval=args.round_interval,
             max_pending=args.max_pending,
             journal=args.journal,
+            spans=args.spans,
+            metrics_interval=args.metrics_interval,
             port_file=args.port_file,
             workers=args.workers,
             worker_retries=args.worker_retries,
@@ -647,6 +860,12 @@ def _main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen_command(args)
+
+    if args.command == "spans":
+        return _run_spans_command(args)
+
+    if args.command == "top":
+        return _run_top_command(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -42,7 +42,7 @@ from repro.workloads import bursty_workload, poisson_workload
 
 __all__ = ["main", "render", "run_bench"]
 
-SCHEMA = "bench-serve-v2"
+SCHEMA = "bench-serve-v3"
 
 def _heavy_workload(**kw):
     """Enough per-round simulator work that process parallelism pays."""
@@ -93,6 +93,7 @@ async def _run_case(
     horizon: int,
     seed: int,
     workers: bool = False,
+    spans: str | None = None,
 ) -> dict:
     instance = _GENERATORS[workload](delta=4, seed=seed, horizon=horizon)
     journal = None
@@ -110,6 +111,7 @@ async def _run_case(
         metrics_port=None,
         workers=workers,
         journal=journal,
+        spans=spans,
     )
     server = SchedulingServer(config)
     await server.start()
@@ -130,8 +132,13 @@ async def _run_case(
             **report.as_dict()}
 
 
-def run_bench(scale: str = "quick", seed: int = 0) -> dict:
-    """Run every case of ``scale``; returns the BENCH_serve payload."""
+def run_bench(scale: str = "quick", seed: int = 0, spans: str | None = None) -> dict:
+    """Run every case of ``scale``; returns the BENCH_serve payload.
+
+    ``spans`` writes a ``repro-trace-v2`` span trace from the *workers*
+    cases (each workers case rewrites the file, so the last one's trace
+    survives — enough for the CI artifact that pins the span pipeline).
+    """
     if scale not in _CASES:
         raise ValueError(f"scale must be one of {sorted(_CASES)}, got {scale!r}")
     cases = []
@@ -141,7 +148,8 @@ def run_bench(scale: str = "quick", seed: int = 0) -> dict:
         )
         cases.append(asyncio.run(
             _run_case(
-                name, workload, shards, speed, horizon, seed, workers=workers
+                name, workload, shards, speed, horizon, seed, workers=workers,
+                spans=spans if workers else None,
             )
         ))
     by_name = {c["case"]: c for c in cases}
@@ -170,7 +178,7 @@ def render(payload: dict) -> str:
     lines = [
         f"serve benchmark ({payload['scale']}, python {payload['python']})",
         f"{'case':<22} {'procs':>6} {'jobs/s':>9} {'rounds/s':>9} "
-        f"{'p50 ms':>8} {'p99 ms':>8} {'digest':>8}",
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'digest':>8}",
     ]
     for case in payload["cases"]:
         lat = case["latency_ms"]
@@ -178,7 +186,7 @@ def render(payload: dict) -> str:
         lines.append(
             f"{case['case']:<22} {procs:>6} {case['jobs_per_second']:>9.0f} "
             f"{case['rounds_per_second']:>9.0f} {lat['p50']:>8.3f} "
-            f"{lat['p99']:>8.3f} "
+            f"{lat.get('p95', 0.0):>8.3f} {lat['p99']:>8.3f} "
             f"{'match' if case['digests_match'] else 'MISMATCH':>8}"
         )
     lines.append(
@@ -205,8 +213,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--scale", default="quick", choices=sorted(_CASES))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--spans",
+        default=None,
+        help="write a repro-trace-v2 span trace from the workers cases "
+        "to this path (CI uploads it as an artifact)",
+    )
     args = parser.parse_args(argv)
-    payload = run_bench(scale=args.scale, seed=args.seed)
+    payload = run_bench(scale=args.scale, seed=args.seed, spans=args.spans)
     print(render(payload))
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -66,19 +66,32 @@ JOURNAL_SCHEMA = "repro-serve-journal-v2"
 # -- record builders (the single source of the wire shapes) -------------------
 
 
-def submit_record(seq: int, rnd: int, jobs: Sequence[Job]) -> dict:
-    """The write-ahead intent for one validated batch."""
-    return {
+def submit_record(
+    seq: int, rnd: int, jobs: Sequence[Job], trace: str | None = None
+) -> dict:
+    """The write-ahead intent for one validated batch.
+
+    ``trace`` (the request's span-trace id) is additive and purely
+    observational: replay ignores it, so journals with and without it
+    rebuild identical sessions.
+    """
+    record = {
         "kind": "submit",
         "seq": seq,
         "round": rnd,
         "jobs": [job_to_wire(job) for job in jobs],
     }
+    if trace is not None:
+        record["trace"] = trace
+    return record
 
 
-def commit_record(seq: int) -> dict:
+def commit_record(seq: int, trace: str | None = None) -> dict:
     """The marker that batch ``seq``'s commit was handed to the shards."""
-    return {"kind": "commit", "seq": seq}
+    record = {"kind": "commit", "seq": seq}
+    if trace is not None:
+        record["trace"] = trace
+    return record
 
 
 def round_record(result: dict) -> dict:

@@ -34,6 +34,7 @@ from repro.serve.protocol import (
     job_to_wire,
 )
 from repro.serve.session import shard_of
+from repro.telemetry.quantiles import exact_quantile
 
 __all__ = ["LoadgenError", "LoadgenReport", "run_loadgen", "verify_offline"]
 
@@ -67,12 +68,12 @@ class LoadgenReport:
         return self.rounds / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def latency_quantile(self, q: float) -> float:
-        """The q-quantile (0 < q <= 1) of tick round-trip latency, seconds."""
-        if not self.tick_latencies:
-            return 0.0
-        ordered = sorted(self.tick_latencies)
-        index = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
-        return ordered[index]
+        """The q-quantile (0 < q <= 1) of tick round-trip latency, seconds.
+
+        Exact, nearest-rank over the recorded samples — the shared
+        convention in :func:`repro.telemetry.quantiles.exact_quantile`.
+        """
+        return exact_quantile(self.tick_latencies, q)
 
     def as_dict(self) -> dict:
         lat = self.tick_latencies
@@ -87,10 +88,16 @@ class LoadgenReport:
             "rounds_per_second": self.rounds_per_second,
             "latency_ms": {
                 "p50": self.latency_quantile(0.50) * 1e3,
+                "p95": self.latency_quantile(0.95) * 1e3,
                 "p99": self.latency_quantile(0.99) * 1e3,
                 "mean": (sum(lat) / len(lat) * 1e3) if lat else 0.0,
                 "max": max(lat) * 1e3 if lat else 0.0,
             },
+            # Flat aliases (milliseconds) for BENCH_serve consumers that
+            # select columns by key rather than walking nested dicts.
+            "tick_latency_p50": self.latency_quantile(0.50) * 1e3,
+            "tick_latency_p95": self.latency_quantile(0.95) * 1e3,
+            "tick_latency_p99": self.latency_quantile(0.99) * 1e3,
             "digests_match": self.digests_match,
             # Included so two runs' reports can be compared digest for
             # digest (the chaos-serve drill does exactly that).

@@ -27,6 +27,7 @@ import json
 import os
 import signal
 import tempfile
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -53,7 +54,10 @@ from repro.serve.protocol import (
 from repro.serve.session import AdmissionError, ShardedSession
 from repro.serve.workers import WorkerShardedSession
 from repro.telemetry.prom import render_prometheus
+from repro.telemetry.quantiles import quantile_summary
 from repro.telemetry.recorder import Recorder, TelemetryRecorder
+from repro.telemetry.registry import merge_snapshots, relabel_snapshot
+from repro.telemetry.spans import SpanWriter, mint_trace_id
 from repro.utils.jsonl import JsonlJournal
 
 __all__ = ["ServeConfig", "SchedulingServer", "serve_forever"]
@@ -101,6 +105,16 @@ class ServeConfig:
     #: a subscriber whose transport write buffer exceeds this many bytes
     #: is dropped instead of growing server memory without bound.
     subscriber_buffer_limit: int = 1 << 20
+    #: JSONL sink for request-scoped spans (``repro-trace-v2``); None
+    #: disables span tracing entirely (the default — zero overhead).
+    spans: str | None = None
+    #: seconds between periodic worker-telemetry scrapes in ``--workers``
+    #: mode (0 disables the background refresh; ``/metrics`` still
+    #: scrapes on demand).
+    metrics_interval: float = 2.0
+    #: recent tick/admission latency samples kept for the stats frame's
+    #: exact percentiles.
+    latency_window: int = 4096
 
     def __post_init__(self) -> None:
         from repro.core.engine import resolve_engine
@@ -129,6 +143,14 @@ class ServeConfig:
             raise ValueError(
                 f"subscriber_buffer_limit must be >= 1, "
                 f"got {self.subscriber_buffer_limit}"
+            )
+        if self.metrics_interval < 0:
+            raise ValueError(
+                f"metrics_interval must be >= 0, got {self.metrics_interval}"
+            )
+        if self.latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {self.latency_window}"
             )
         if self.workers and not self.journal:
             # Workers cannot fail over without a journal to replay; give
@@ -200,11 +222,34 @@ class SchedulingServer:
         self._server: asyncio.AbstractServer | None = None
         self._metrics_server: asyncio.AbstractServer | None = None
         self._timer_task: asyncio.Task | None = None
+        self._metrics_task: asyncio.Task | None = None
         self._subscribers: list[asyncio.StreamWriter] = []
         self._writers: set[asyncio.StreamWriter] = set()
         self._stopping = asyncio.Event()
         self.port: int | None = None
         self.metrics_port: int | None = None
+        # -- observability state ----------------------------------------------
+        #: span sink (None = tracing off; the digest-equality tests prove
+        #: on/off never changes scheduling).
+        self.spans = (
+            SpanWriter(config.spans, **self._session_params())
+            if config.spans
+            else None
+        )
+        #: submit-receipt counter minting trace ids (rejected submits get
+        #: ids too — their trace is root + reject).
+        self._trace_seq = 0
+        #: uid -> trace id for committed-but-not-yet-finished jobs; popped
+        #: when the job executes or drops, so it stays bounded by pending.
+        self._trace_uids: dict[int, str] = {}
+        #: last-good relabeled snapshot per worker shard (the scrape-
+        #: failure fallback: stale beats missing).
+        self._worker_snapshots: dict[int, dict] = {}
+        #: recent latency samples (seconds) for exact stats percentiles.
+        self._tick_window: deque[float] = deque(maxlen=config.latency_window)
+        self._admission_window: deque[float] = deque(
+            maxlen=config.latency_window
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -236,6 +281,14 @@ class SchedulingServer:
             self._timer_task = asyncio.get_running_loop().create_task(
                 self._timer_clock()
             )
+        if (
+            cfg.workers
+            and cfg.metrics_interval > 0
+            and self.telemetry.enabled
+        ):
+            self._metrics_task = asyncio.get_running_loop().create_task(
+                self._metrics_refresh()
+            )
         if self.journal is not None:
             self.journal.append({
                 "kind": "header",
@@ -251,13 +304,15 @@ class SchedulingServer:
     async def stop(self) -> None:
         """Close listeners, the timer, and every open client connection."""
         self._stopping.set()
-        if self._timer_task is not None:
-            self._timer_task.cancel()
-            try:
-                await self._timer_task
-            except asyncio.CancelledError:
-                pass
-            self._timer_task = None
+        for task_name in ("_timer_task", "_metrics_task"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_name, None)
         for server in (self._server, self._metrics_server):
             if server is not None:
                 server.close()
@@ -282,6 +337,8 @@ class SchedulingServer:
         if self.journal is not None:
             self.journal.append({"kind": "shutdown", "round": self.session.round})
             self.journal.close()
+        if self.spans is not None:
+            self.spans.close()
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`request_stop` (e.g. from a signal handler)."""
@@ -297,12 +354,33 @@ class SchedulingServer:
         for _ in range(rounds):
             t0 = perf_counter()
             result = self.session.tick()
+            elapsed = perf_counter() - t0
+            self._tick_window.append(elapsed)
             if telem.enabled:
-                telem.observe(
-                    "repro_serve_round_seconds", perf_counter() - t0
-                )
+                telem.observe("repro_serve_round_seconds", elapsed)
                 telem.count("repro_serve_ticks_total")
                 telem.gauge("repro_serve_pending_jobs", result["pending"])
+            if self.spans is not None:
+                # Execution/drop spans close each job's trace with the
+                # shard coordinate the merged frame no longer carries.
+                for sid, part in sorted(self.session.last_tick_parts.items()):
+                    for name, uids in (
+                        ("execute", part["executed"]),
+                        ("drop", part["dropped"]),
+                    ):
+                        for uid in uids:
+                            trace = self._trace_uids.pop(uid, None)
+                            if trace is None:
+                                continue
+                            self._span(
+                                trace,
+                                name,
+                                parent=f"{trace}/submit",
+                                span_id=f"{trace}/{name}/{uid}",
+                                round=result["round"],
+                                shard=sid,
+                                uid=uid,
+                            )
             if self.journal is not None:
                 # Flushed, not fsynced: worker failover only needs the
                 # record visible to a replaying child on this machine,
@@ -343,6 +421,75 @@ class SchedulingServer:
             writer.write(payload)
             alive.append(writer)
         self._subscribers = alive
+
+    # -- observability ---------------------------------------------------------
+
+    def _span(self, trace: str, name: str, **kw) -> str | None:
+        """Emit one span (if tracing is on) and count it; returns its id."""
+        if self.spans is None:
+            return None
+        span_id = self.spans.span(trace, name, **kw)
+        if self.telemetry.enabled:
+            self.telemetry.count("repro_serve_spans_total", kind=name)
+        return span_id
+
+    def _latency_summary(self) -> dict:
+        """Exact p50/p95/p99 (ms) over the recent latency windows."""
+        return {
+            "tick_ms": quantile_summary(self._tick_window, scale=1e3),
+            "admission_ms": quantile_summary(self._admission_window, scale=1e3),
+        }
+
+    def _refresh_worker_metrics(self) -> None:
+        """Soft-scrape worker telemetry; update last-good, count failures.
+
+        Worker snapshots are cumulative per incarnation, so each scrape
+        *replaces* that worker's last-good snapshot (merging across
+        scrapes would double-count).  A failed scrape keeps the stale
+        snapshot — ``/metrics`` serves last-good data plus a
+        ``repro_serve_worker_scrape_failures_total`` counter rather than
+        silently dropping the worker's series.
+        """
+        session = self.session
+        if not isinstance(session, WorkerShardedSession):
+            return
+        try:
+            snaps, failed = session.metrics_snapshots()
+        except Exception:
+            snaps, failed = {}, list(range(session.num_shards))
+        for sid, snap in snaps.items():
+            self._worker_snapshots[sid] = relabel_snapshot(
+                snap, worker=sid, shard=sid
+            )
+        if failed and self.telemetry.enabled:
+            for sid in failed:
+                self.telemetry.count(
+                    "repro_serve_worker_scrape_failures_total", shard=str(sid)
+                )
+
+    def merged_snapshot(self) -> dict:
+        """The frontend's snapshot merged with every worker's last-good.
+
+        Single-process mode: just the frontend snapshot (the engines
+        record into it directly).  Workers mode: an on-demand scrape
+        first, so ``/metrics`` is always at most one scrape old.
+        """
+        self._refresh_worker_metrics()
+        snap = self.telemetry.snapshot()
+        if not self._worker_snapshots:
+            return snap
+        return merge_snapshots(
+            [snap]
+            + [self._worker_snapshots[sid] for sid in sorted(self._worker_snapshots)]
+        )
+
+    async def _metrics_refresh(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.config.metrics_interval)
+                self._refresh_worker_metrics()
+        except asyncio.CancelledError:
+            raise
 
     # -- the NDJSON protocol ---------------------------------------------------
 
@@ -423,13 +570,18 @@ class SchedulingServer:
             return self._tick_rounds(rounds), True
 
         if kind == "stats":
-            return [{"type": "stats", **self.session.stats()}], True
+            return [{
+                "type": "stats",
+                **self.session.stats(),
+                "latency": self._latency_summary(),
+            }], True
 
         # bye
         return [{"type": "bye"}], False
 
     def _handle_submit(self, frame: dict) -> dict:
         telem = self.telemetry
+        t0 = perf_counter()
         submit_id = frame.get("id")
         wire_jobs = frame.get("jobs")
         if not isinstance(wire_jobs, list):
@@ -459,12 +611,33 @@ class SchedulingServer:
                 "reason": exc.code,
                 "message": str(exc),
             }
+        # Every submit that reaches the session gets a trace id — minted
+        # from a plain receipt counter, so trace ids are deterministic
+        # for a deterministic client (never wall-clock or random).
+        self._trace_seq += 1
+        trace = mint_trace_id(self._trace_seq)
+        root_id = f"{trace}/submit"
+        submit_round = self.session.round
         try:
-            self.session.validate(jobs)
+            self.session.validate(jobs, trace=trace)
         except AdmissionError as exc:
+            elapsed = perf_counter() - t0
+            self._admission_window.append(elapsed)
             if telem.enabled:
-                telem.count(
-                    "repro_serve_rejects_total", reason=exc.reason
+                telem.count("repro_serve_rejects_total", reason=exc.reason)
+                telem.observe("repro_serve_admission_seconds", elapsed)
+            if self.spans is not None:
+                self._span(
+                    trace,
+                    "reject",
+                    parent=root_id,
+                    reason=exc.reason,
+                    **({} if exc.index is None else {"index": exc.index}),
+                )
+                self._span(
+                    trace, "submit", round=submit_round, seq=self._trace_seq,
+                    jobs=len(jobs), outcome="reject",
+                    wall_ms=elapsed * 1e3,
                 )
             return {
                 "type": "reject",
@@ -473,6 +646,19 @@ class SchedulingServer:
                 "message": str(exc),
                 "index": exc.index,
             }
+        if self.spans is not None:
+            # One admit span per voting shard; the trace id each vote
+            # carries made the round trip through the admission path
+            # (and, in workers mode, across the pipe).
+            for vote in self.session.last_admission_votes:
+                self._span(
+                    vote.get("trace") or trace,
+                    "admit",
+                    parent=root_id,
+                    shard=vote["shard"],
+                    jobs=vote["jobs"],
+                    verdict=vote["verdict"],
+                )
         # Write-ahead: the fsynced intent plus its commit marker are on
         # disk *before* the commit touches any shard, so a crash at any
         # point either loses an unacknowledged batch entirely (no
@@ -480,14 +666,42 @@ class SchedulingServer:
         # admitted one.
         self._submit_seq += 1
         if self.journal is not None:
+            tj = perf_counter()
             self.journal.append(
-                submit_record(self._submit_seq, self.session.round, jobs),
+                submit_record(
+                    self._submit_seq, self.session.round, jobs, trace=trace
+                ),
                 sync=True,
             )
-            self.journal.append(commit_record(self._submit_seq), sync=False)
+            if self.spans is not None:
+                self._span(
+                    trace, "wal.intent", parent=root_id,
+                    seq=self._submit_seq, wall_ms=(perf_counter() - tj) * 1e3,
+                )
+            self.journal.append(
+                commit_record(self._submit_seq, trace=trace), sync=False
+            )
+            if self.spans is not None:
+                self._span(
+                    trace, "wal.commit", parent=root_id, seq=self._submit_seq
+                )
         self.session.commit(jobs)
+        elapsed = perf_counter() - t0
+        self._admission_window.append(elapsed)
         if telem.enabled:
             telem.count("repro_serve_jobs_total", len(jobs))
+            telem.observe("repro_serve_admission_seconds", elapsed)
+        if self.spans is not None:
+            self._span(
+                trace, "commit", parent=root_id, round=self.session.round,
+                seq=self._submit_seq, jobs=len(jobs),
+            )
+            for job in jobs:
+                self._trace_uids[job.uid] = trace
+            self._span(
+                trace, "submit", round=submit_round, seq=self._trace_seq,
+                jobs=len(jobs), outcome="accept", wall_ms=elapsed * 1e3,
+            )
         return {
             "type": "accept",
             "id": submit_id,
@@ -589,17 +803,20 @@ class SchedulingServer:
                 ctype = "text/plain"
                 status = "431 Request Header Fields Too Large"
             elif path.split("?")[0] == "/metrics":
-                body = render_prometheus(self.telemetry.snapshot()).encode()
+                body = render_prometheus(self.merged_snapshot()).encode()
                 ctype = "text/plain; version=0.0.4; charset=utf-8"
                 status = "200 OK"
             elif path.split("?")[0] == "/healthz":
-                body = (json.dumps({
+                health = {
                     "status": "ok",
                     "proto": PROTOCOL,
                     "round": self.session.round,
                     "pending": self.session.pending,
                     "shards": self.session.num_shards,
-                }) + "\n").encode()
+                }
+                if isinstance(self.session, WorkerShardedSession):
+                    health["workers"] = self.session.worker_health()
+                body = (json.dumps(health) + "\n").encode()
                 ctype = "application/json"
                 status = "200 OK"
             else:

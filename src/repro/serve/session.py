@@ -268,6 +268,14 @@ class ShardedSession:
         ]
         self._seen_uids: set[int] = set()
         self._closed = False
+        #: per-shard admission votes from the last successful validate
+        #: (``{"shard", "verdict", "jobs", "trace"}``); the server turns
+        #: these into ``admit`` spans.  Purely observational.
+        self.last_admission_votes: list[dict] = []
+        #: per-shard result parts from the last tick, keyed by shard id;
+        #: the server turns these into ``execute``/``drop`` spans with
+        #: shard coordinates the merged result frame no longer carries.
+        self.last_tick_parts: dict[int, dict] = {}
 
     @property
     def num_shards(self) -> int:
@@ -289,7 +297,7 @@ class ShardedSession:
     def shard_for(self, color: Color) -> SessionShard:
         return self.shards[shard_of(color, len(self.shards))]
 
-    def validate(self, jobs: Sequence[Job]) -> None:
+    def validate(self, jobs: Sequence[Job], trace: str | None = None) -> None:
         """Phase 1 of admission: check every rule, touch no state.
 
         Raises :class:`AdmissionError` on the first violation (lowest
@@ -297,7 +305,11 @@ class ShardedSession:
         consistency beat duplicate detection).  A batch that validates
         cleanly is guaranteed to :meth:`commit` — the split exists so
         the server can write the journal intent between the two phases.
+
+        ``trace`` is an opaque request id threaded through for span
+        tracing; it never influences any admission decision.
         """
+        self.last_admission_votes = []
         if self._closed:
             raise AdmissionError("closed", "session is closed")
         bounds: dict[Color, int] = {}
@@ -336,6 +348,10 @@ class ShardedSession:
                     f"in-flight jobs (limit {self.max_pending}); retry after "
                     f"ticking",
                 )
+        self.last_admission_votes = [
+            {"shard": sid, "verdict": "ok", "jobs": load[sid], "trace": trace}
+            for sid in sorted(load)
+        ]
 
     def commit(self, jobs: Sequence[Job]) -> None:
         """Phase 2 of admission: buffer a *validated* batch on its shards.
@@ -365,8 +381,10 @@ class ShardedSession:
         dropped: list[int] = []
         recolored = 0
         cost: int | float = 0
+        self.last_tick_parts = {}
         for shard in self.shards:
             part = shard.step(rnd)
+            self.last_tick_parts[shard.shard_id] = part
             executed.extend(part["executed"])
             dropped.extend(part["dropped"])
             recolored += part["recolored"]

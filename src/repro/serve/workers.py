@@ -74,7 +74,12 @@ from repro.serve.session import (
     shard_of,
     split_capacity,
 )
-from repro.telemetry.recorder import Recorder, get_recorder
+from repro.telemetry.recorder import (
+    Recorder,
+    TelemetryRecorder,
+    get_recorder,
+    set_recorder,
+)
 from repro.utils.procs import PipeWorker, retry_backoff
 
 __all__ = ["WorkerShardedSession"]
@@ -104,6 +109,15 @@ def _shard_worker_main(
     faults.mark_worker()
     if fault_plan_json:
         faults.install_plan(faults.FaultPlan.from_json(fault_plan_json))
+    # Child-process telemetry: when the parent records, so does the
+    # worker — its engine counters would otherwise vanish with the
+    # process.  Snapshots ship home on the ``metrics`` op; the recorder
+    # is also installed process-globally so every engine-layer
+    # ``get_recorder()`` lands here.
+    recorder: TelemetryRecorder | None = None
+    if params.get("telemetry"):
+        recorder = TelemetryRecorder()
+        set_recorder(recorder)
     try:
         policy = make_policy(
             params["policy"], params["delta"], incremental=params["incremental"]
@@ -116,6 +130,7 @@ def _shard_worker_main(
             speed=params["speed"],
             engine=params["engine"],
             name=params["name"],
+            telemetry=recorder,
         )
         replayed = 0
         if journal_path is not None:
@@ -145,9 +160,14 @@ def _shard_worker_main(
         op, seq, payload = message
         faults.maybe_inject(f"serve/shard{shard_id}/{op}/{seq}", attempt)
         if op == "validate":
+            # Payload: {"jobs": [(index, job-tuple), ...], "trace": id?}.
+            # The trace id rides the pipe both ways so an admission vote
+            # is attributable to its originating submit; it never feeds
+            # the admission decision.
+            trace = payload.get("trace")
             verdict: tuple | None = None
             jobs: list[Job] = []
-            for index, data in payload:
+            for index, data in payload["jobs"]:
                 job = _job_from_tuple(data)
                 try:
                     shard.live.check(job.color, job.arrival, job.delay_bound)
@@ -160,7 +180,7 @@ def _shard_worker_main(
                 # ever awaiting commit: replacing the cache also evicts
                 # any batch whose validation failed on another shard.
                 batches = {seq: jobs}
-                conn.send(("ok", seq, None))
+                conn.send(("ok", seq, {"jobs": len(jobs), "trace": trace}))
             else:
                 batches = {}
                 conn.send(("reject", seq, verdict))
@@ -174,11 +194,25 @@ def _shard_worker_main(
             if last_tick is not None and last_tick[0] == payload:
                 part = last_tick[1]  # duplicate delivery; replay already ran it
             else:
+                t0 = time.perf_counter()
                 part = shard.step(payload)
+                if recorder is not None:
+                    # The worker-side round latency; relabeled with this
+                    # shard's identity when the frontend scrapes it, so
+                    # `repro top` can show a real per-shard tick p95.
+                    recorder.observe(
+                        "repro_serve_round_seconds", time.perf_counter() - t0
+                    )
                 last_tick = (payload, part)
             conn.send(("result", seq, part))
         elif op == "stats":
             conn.send(("stats", seq, shard.stats()))
+        elif op == "metrics":
+            conn.send((
+                "metrics",
+                seq,
+                recorder.snapshot() if recorder is not None else {},
+            ))
         elif op == "digests":
             conn.send(("digests", seq, shard.digests()))
         elif op == "close":
@@ -198,6 +232,13 @@ class _ShardWorker:
         self.worker: PipeWorker | None = None
         #: fire-and-forget commit seqs whose acks are still in the pipe.
         self.outstanding: set[int] = set()
+        #: rounds the current incarnation replayed from the journal at
+        #: spawn (0 for the first spawn) and the round it came up at.
+        self.replayed = 0
+        self.ready_round = 0
+        #: session round at the moment of the last (re)spawn — with
+        #: ``ready_round`` this gives the journal-replay lag /healthz shows.
+        self.spawn_session_round = 0
 
 
 class WorkerShardedSession:
@@ -262,6 +303,9 @@ class WorkerShardedSession:
             "incremental": self.incremental,
             "engine": self.engine,
             "name": name,
+            # Children mirror the parent's recording decision so their
+            # engine metrics exist to be scraped over the pipe.
+            "telemetry": self.telemetry.enabled,
         }
         self._ctx = mp.get_context()
         self._seq = 0
@@ -276,6 +320,9 @@ class WorkerShardedSession:
         self._ready_commit: tuple[int, list[int], dict[int, int]] | None = None
         self._closed = False
         self._failed: str | None = None
+        #: same observational surfaces as ShardedSession (span sources).
+        self.last_admission_votes: list[dict] = []
+        self.last_tick_parts: dict[int, dict] = {}
         self._workers = [_ShardWorker(i) for i in range(shards)]
         try:
             for wk in self._workers:
@@ -338,6 +385,9 @@ class WorkerShardedSession:
                 f"shard {wk.shard_id} replayed past the session clock: "
                 f"{payload['round']} > {self._round}"
             )
+        wk.replayed = payload["replayed"]
+        wk.ready_round = payload["round"]
+        wk.spawn_session_round = self._round
 
     def _recover(self, wk: _ShardWorker, op: str, tries: dict[int, int]) -> None:
         """Kill + backoff + respawn-with-replay; raises past the retry bound."""
@@ -526,7 +576,7 @@ class WorkerShardedSession:
     def closed(self) -> bool:
         return self._closed
 
-    def validate(self, jobs: Sequence[Job]) -> None:
+    def validate(self, jobs: Sequence[Job], trace: str | None = None) -> None:
         """Phase 1 across workers; raises :class:`AdmissionError`.
 
         Parity with ``ShardedSession.validate``: the violation at the
@@ -534,8 +584,13 @@ class WorkerShardedSession:
         rules (priority 0) beat within-batch bound consistency (1) beat
         duplicate uids (2); backpressure applies only to otherwise-clean
         batches.
+
+        ``trace`` crosses the pipe inside the validate payload and is
+        echoed back in each worker's vote, so admission spans attribute
+        the vote to the submit that caused it.
         """
         self._check_usable()
+        self.last_admission_votes = []
         if self._closed:
             raise AdmissionError("closed", "session is closed")
         # Route and ship the sub-batches first: the workers run their
@@ -554,11 +609,12 @@ class WorkerShardedSession:
             )
         self._seq += 1
         seq = self._seq
+        payload_of = lambda sid: {"jobs": sublists[sid], "trace": trace}
         if sublists:
             state = self._send_all(
                 [self._workers[sid] for sid in sorted(sublists)],
                 "validate",
-                lambda sid: sublists[sid],
+                payload_of,
                 seq,
             )
         bounds: dict[Color, int] = {}
@@ -588,10 +644,9 @@ class WorkerShardedSession:
                     ),
                 ))
             batch_uids.add(job.uid)
+        votes: list[dict] = []
         if sublists:
-            replies = self._gather(
-                state, "validate", lambda sid: sublists[sid], seq
-            )
+            replies = self._gather(state, "validate", payload_of, seq)
             for sid in sorted(sublists):
                 kind, payload = replies[sid]
                 if kind == "reject":
@@ -599,6 +654,13 @@ class WorkerShardedSession:
                     candidates.append(
                         (index, 0, AdmissionError(reason, message, index))
                     )
+                else:
+                    votes.append({
+                        "shard": sid,
+                        "verdict": "ok",
+                        "jobs": payload["jobs"],
+                        "trace": payload["trace"],
+                    })
         if candidates:
             candidates.sort(key=lambda item: (item[0], item[1]))
             raise candidates[0][2]
@@ -610,6 +672,7 @@ class WorkerShardedSession:
                     f"in-flight jobs (limit {self.max_pending}); retry after "
                     f"ticking",
                 )
+        self.last_admission_votes = votes
         self._ready_commit = (seq, sorted(sublists), load)
 
     def commit(self, jobs: Sequence[Job]) -> None:
@@ -652,8 +715,10 @@ class WorkerShardedSession:
         dropped: list[int] = []
         recolored = 0
         cost: int | float = 0
+        self.last_tick_parts = {}
         for wk in self._workers:
             kind, part = replies[wk.shard_id]
+            self.last_tick_parts[wk.shard_id] = part
             executed.extend(part["executed"])
             dropped.extend(part["dropped"])
             recolored += part["recolored"]
@@ -682,6 +747,81 @@ class WorkerShardedSession:
         self._check_usable()
         replies = self._exchange(self._workers, "digests", lambda sid: None)
         return [replies[wk.shard_id][1] for wk in self._workers]
+
+    def metrics_snapshots(
+        self, budget: float | None = None
+    ) -> tuple[dict[int, dict], list[int]]:
+        """Soft-scrape every worker's telemetry snapshot.
+
+        Returns ``(snapshots_by_shard, failed_shard_ids)``.  *Soft*
+        means: unlike :meth:`_exchange`, a worker that is dead, wedged,
+        or just slow is **not** killed or respawned — a metrics scrape
+        must never be the thing that restarts a shard.  Workers that
+        miss the ``budget`` deadline (default: min(op timeout, 1s))
+        simply land in the failed list; their late replies carry a stale
+        seq and are discarded by the next blocking exchange, exactly
+        like drained commit acks.
+        """
+        if self._closed or self._failed is not None:
+            return {}, [wk.shard_id for wk in self._workers]
+        self._seq += 1
+        seq = self._seq
+        deadline = time.monotonic() + (
+            budget if budget is not None else min(self.timeout, 1.0)
+        )
+        pending: dict[int, _ShardWorker] = {}
+        for wk in self._workers:
+            try:
+                wk.worker.conn.send(("metrics", seq, None))
+                pending[wk.shard_id] = wk
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # dead pipe: scrape failure, recovery waits for a real op
+        snaps: dict[int, dict] = {}
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            conns = {wk.worker.conn: wk for wk in pending.values()}
+            ready = _conn_wait(list(conns), timeout=remaining)
+            if not ready:
+                break
+            for conn in ready:
+                wk = conns[conn]
+                try:
+                    kind, rseq, payload = conn.recv()
+                except (EOFError, OSError):
+                    del pending[wk.shard_id]
+                    continue
+                if rseq != seq:
+                    wk.outstanding.discard(rseq)
+                    continue
+                if kind == "metrics" and payload:
+                    snaps[wk.shard_id] = payload
+                del pending[wk.shard_id]
+        failed = [
+            wk.shard_id
+            for wk in self._workers
+            if wk.shard_id not in snaps
+        ]
+        return snaps, failed
+
+    def worker_health(self) -> list[dict]:
+        """Per-worker liveness and failover bookkeeping (for /healthz)."""
+        health = []
+        for wk in self._workers:
+            process = wk.worker.process if wk.worker is not None else None
+            health.append({
+                "shard": wk.shard_id,
+                "pid": process.pid if process is not None else None,
+                "alive": bool(process is not None and process.is_alive()),
+                # attempt counts spawns; respawns = attempts beyond the first.
+                "respawns": max(0, wk.attempt - 1),
+                "replayed_rounds": wk.replayed,
+                # Rounds between what replay rebuilt and where the session
+                # clock stood at (re)spawn — the catch-up the next ops paid.
+                "replay_lag": max(0, wk.spawn_session_round - wk.ready_round),
+            })
+        return health
 
     def stats(self) -> dict:
         self._check_usable()

@@ -35,11 +35,13 @@ Usage::
 
 from __future__ import annotations
 
-from repro.telemetry.prom import render_prometheus
+from repro.telemetry.prom import parse_prometheus, render_prometheus
+from repro.telemetry.quantiles import exact_quantile, histogram_quantile, quantile_summary
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
     merge_snapshots,
+    relabel_snapshot,
     render_table,
 )
 from repro.telemetry.recorder import (
@@ -50,6 +52,14 @@ from repro.telemetry.recorder import (
     recording,
     set_recorder,
 )
+from repro.telemetry.spans import (
+    SPAN_SCHEMA,
+    SpanWriter,
+    build_traces,
+    normalize_span,
+    read_spans,
+    render_traces,
+)
 from repro.telemetry.trace import TRACE_SCHEMA, TraceWriter, ledger_round_delta
 
 __all__ = [
@@ -57,14 +67,25 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "SPAN_SCHEMA",
+    "SpanWriter",
     "TRACE_SCHEMA",
     "TelemetryRecorder",
     "TraceWriter",
+    "build_traces",
+    "exact_quantile",
     "get_recorder",
+    "histogram_quantile",
     "ledger_round_delta",
     "merge_snapshots",
+    "normalize_span",
+    "parse_prometheus",
+    "quantile_summary",
+    "read_spans",
     "recording",
+    "relabel_snapshot",
     "render_prometheus",
     "render_table",
+    "render_traces",
     "set_recorder",
 ]

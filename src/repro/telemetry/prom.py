@@ -1,4 +1,4 @@
-"""Prometheus text-exposition rendering of a metrics snapshot.
+"""Prometheus text-exposition rendering and parsing of metrics snapshots.
 
 Implements the subset of the text format (version 0.0.4) the registry can
 produce: ``# HELP`` / ``# TYPE`` comment lines, then one sample per
@@ -6,11 +6,19 @@ series.  Histograms expand to cumulative ``_bucket`` samples (``le``
 label, ``+Inf`` last), plus ``_sum`` and ``_count`` — exactly the shape
 scrapers expect, so ``repro metrics --format prom`` output can be dropped
 into a node-exporter textfile collector unchanged.
+
+:func:`parse_prometheus` is the exact inverse for text this module
+rendered — ``parse_prometheus(render_prometheus(snap)) == snap`` — which
+is what lets ``repro metrics --url`` and ``repro top`` scrape a live
+``/metrics`` endpoint and reuse every snapshot-based renderer unchanged.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Mapping
+
+from repro.telemetry.registry import SCHEMA, label_key
 
 #: metric documentation surfaced as `# HELP` lines.
 HELP: dict[str, str] = {
@@ -36,7 +44,19 @@ HELP: dict[str, str] = {
     "repro_serve_rejects_total": "Submit batches rejected, by reason.",
     "repro_serve_ticks_total": "Rounds advanced by the serve layer's clock.",
     "repro_serve_round_seconds": "Wall time per live round (all shards).",
+    "repro_serve_admission_seconds": "Wall time per submit: validate, WAL, commit.",
     "repro_serve_pending_jobs": "In-flight jobs after the last live round.",
+    "repro_serve_worker_respawns_total": "Shard worker processes respawned after a failure.",
+    "repro_serve_worker_commits_total": "Job batches committed into shard workers.",
+    "repro_serve_worker_scrape_failures_total": "Worker telemetry scrapes that timed out or failed.",
+    "repro_serve_subscribers_dropped_total": "Broadcast subscribers dropped for falling behind.",
+    "repro_serve_spans_total": "Span records emitted by the serve layer, by kind.",
+    "repro_task_retries_total": "Runner task attempts retried after a failure.",
+    "repro_task_timeouts_total": "Runner task attempts killed at the task timeout.",
+    "repro_pool_rebuilds_total": "Supervised worker pools rebuilt after a worker death.",
+    "repro_tasks_quarantined_total": "Runner tasks quarantined after exhausting retries.",
+    "repro_task_backoff_seconds": "Retry backoff delay per re-dispatched task.",
+    "repro_rounds_unparsed_cells_total": "Result cells skipped by round accounting as unparsable.",
 }
 
 
@@ -91,3 +111,99 @@ def render_prometheus(snapshot: Mapping) -> str:
             )
 
     return "\n".join(lines) + "\n" if lines else ""
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
+)
+
+
+def _parse_value(text: str) -> int | float:
+    if text == "+Inf":
+        return float("inf")
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text-exposition output back into a registry snapshot.
+
+    The inverse of :func:`render_prometheus` for text it produced:
+    ``# TYPE`` lines assign each family to counters/gauges/histograms,
+    histogram ``_bucket`` samples are de-cumulated back into per-bucket
+    counts and their ``le`` bounds become the cell's ``bounds``.  Unknown
+    sample lines (a family with no preceding ``# TYPE``) are treated as
+    untyped gauges, so scraping a foreign exporter degrades instead of
+    crashing.
+    """
+    types: dict[str, str] = {}
+    snapshot: dict = {"schema": SCHEMA, "counters": {}, "gauges": {}, "histograms": {}}
+    #: histogram accumulation: name -> label_key(without le) -> working cell
+    working: dict[str, dict[str, dict]] = {}
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparsable sample line: {line!r}")
+        name, raw_labels, raw_value = match.groups()
+        labels = dict(_LABEL_RE.findall(raw_labels or ""))
+        value = _parse_value(raw_value)
+
+        base, suffix = name, ""
+        for candidate in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(candidate)]
+            if name.endswith(candidate) and types.get(stripped) == "histogram":
+                base, suffix = stripped, candidate
+                break
+        if suffix:
+            le = labels.pop("le", None)
+            key = label_key(labels)
+            cell = working.setdefault(base, {}).setdefault(
+                key, {"le": [], "cum": [], "sum": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                cell["le"].append(float("inf") if le == "+Inf" else float(le))
+                cell["cum"].append(value)
+            elif suffix == "_sum":
+                cell["sum"] = value
+            else:
+                cell["count"] = value
+            continue
+
+        kind = types.get(name, "gauge")
+        dst = snapshot["counters" if kind == "counter" else "gauges"]
+        dst.setdefault(name, {})[label_key(labels)] = value
+
+    for name, series in working.items():
+        dst = snapshot["histograms"].setdefault(name, {})
+        for key, cell in series.items():
+            pairs = sorted(zip(cell["le"], cell["cum"]))
+            bounds = [le for le, _ in pairs if le != float("inf")]
+            cumulative = [cum for _, cum in pairs]
+            buckets, previous = [], 0
+            for cum in cumulative:
+                buckets.append(cum - previous)
+                previous = cum
+            dst[key] = {
+                "bounds": bounds,
+                "buckets": buckets,
+                "sum": cell["sum"],
+                "count": cell["count"],
+            }
+
+    for kind in ("counters", "gauges", "histograms"):
+        snapshot[kind] = {
+            n: dict(sorted(s.items())) for n, s in sorted(snapshot[kind].items())
+        }
+    return snapshot

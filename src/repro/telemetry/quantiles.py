@@ -1,0 +1,93 @@
+"""Percentile helpers: exact sample quantiles and histogram estimates.
+
+Two regimes, used by different layers of the serve stack:
+
+- :func:`exact_quantile` computes the nearest-rank quantile over the
+  *recorded samples themselves* — exact, used wherever the raw
+  observations are still in hand (the loadgen report, the server's
+  bounded latency windows).  The convention matches the original
+  ``LoadgenReport.latency_quantile``: nearest rank with 0.5 rounding,
+  clamped to the sample range, so historical report numbers do not
+  shift.
+- :func:`histogram_quantile` estimates a quantile from a snapshot
+  histogram cell (fixed bucket counts) with linear interpolation inside
+  the winning bucket — the same estimator PromQL's ``histogram_quantile``
+  applies, used where only the aggregated histogram survives (``repro
+  top`` reading a /metrics scrape).
+
+Both are pure functions of their inputs; nothing here reads the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["exact_quantile", "histogram_quantile", "quantile_summary"]
+
+
+def exact_quantile(samples: Sequence[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile (0 < q <= 1) of ``samples``.
+
+    Returns 0.0 for an empty sequence (the "no data yet" convention the
+    serve reports use).  Samples need not be pre-sorted.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[index]
+
+
+def quantile_summary(
+    samples: Sequence[float],
+    quantiles: Sequence[float] = (0.50, 0.95, 0.99),
+    scale: float = 1.0,
+) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` from one sorted pass.
+
+    ``scale`` multiplies every value (e.g. 1e3 for seconds -> ms).
+    """
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for q in quantiles:
+        key = f"p{round(q * 100):d}"
+        if not ordered:
+            out[key] = 0.0
+            continue
+        index = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+        out[key] = ordered[index] * scale
+    return out
+
+
+def histogram_quantile(cell: Mapping, q: float) -> float:
+    """Estimate the ``q``-quantile of a snapshot histogram cell.
+
+    ``cell`` is the registry shape: ``{"bounds": [...], "buckets": [...],
+    "sum": s, "count": c}`` with per-bucket (non-cumulative) counts and an
+    implicit +Inf final bucket.  Linear interpolation within the winning
+    bucket; the +Inf bucket degrades to its lower bound (there is no
+    upper edge to interpolate toward).  Returns 0.0 on an empty cell.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    total = cell["count"]
+    if not total:
+        return 0.0
+    bounds = list(cell["bounds"])
+    buckets = list(cell["buckets"])
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(buckets):
+        cumulative += count
+        if cumulative >= rank:
+            if i >= len(bounds):  # +Inf bucket: no upper edge
+                return float(bounds[-1]) if bounds else 0.0
+            upper = float(bounds[i])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            if count == 0:
+                return upper
+            inside = rank - (cumulative - count)
+            return lower + (upper - lower) * (inside / count)
+    return float(bounds[-1]) if bounds else 0.0

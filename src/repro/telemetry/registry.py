@@ -41,6 +41,11 @@ BUCKETS: dict[str, tuple[float, ...]] = {
     "repro_serve_round_seconds": (
         1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 0.1, 0.5, 1.0,
     ),
+    # Submit admission latency: validate + WAL fsync + commit.  Same shape
+    # as round latency but shifted down — admission does no engine work.
+    "repro_serve_admission_seconds": (
+        5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 0.1, 0.5,
+    ),
 }
 
 
@@ -49,6 +54,62 @@ def label_key(labels: Mapping[str, object]) -> str:
     if not labels:
         return ""
     return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+
+
+def parse_label_key(key: str) -> dict[str, str]:
+    """Invert :func:`label_key`: ``'a="x",b="y"'`` -> ``{"a": "x", "b": "y"}``.
+
+    Only the canonical form the registry itself emits is accepted (label
+    values never contain ``"`` — they come from shard ids, phase names,
+    and frame types, all of which this codebase keeps quote-free).
+    """
+    if not key:
+        return {}
+    labels: dict[str, str] = {}
+    for part in key.split(","):
+        name, _, quoted = part.partition("=")
+        if not name or len(quoted) < 2 or quoted[0] != '"' or quoted[-1] != '"':
+            raise ValueError(f"malformed label key segment {part!r} in {key!r}")
+        labels[name] = quoted[1:-1]
+    return labels
+
+
+def relabel_snapshot(snapshot: Mapping, **extra: object) -> dict:
+    """A copy of ``snapshot`` with ``extra`` labels added to every series.
+
+    Used by the serve frontend to tag each worker's snapshot with its
+    ``worker``/``shard`` identity before merging, so per-worker series
+    stay distinguishable in the aggregated ``/metrics`` output.  Existing
+    labels win on collision (a worker's own ``shard=`` label is already
+    correct; stamping over it would lie).
+    """
+
+    def _rekey(key: str) -> str:
+        labels = {**{k: str(v) for k, v in extra.items()}, **parse_label_key(key)}
+        return label_key(labels)
+
+    out = _empty_snapshot()
+    for kind in ("counters", "gauges"):
+        for name, series in snapshot.get(kind, {}).items():
+            dst = out[kind].setdefault(name, {})
+            for key, value in series.items():
+                dst[_rekey(key)] = value
+        out[kind] = {
+            n: dict(sorted(s.items())) for n, s in sorted(out[kind].items())
+        }
+    for name, series in snapshot.get("histograms", {}).items():
+        dst = out["histograms"].setdefault(name, {})
+        for key, cell in series.items():
+            dst[_rekey(key)] = {
+                "bounds": list(cell["bounds"]),
+                "buckets": list(cell["buckets"]),
+                "sum": cell["sum"],
+                "count": cell["count"],
+            }
+    out["histograms"] = {
+        n: dict(sorted(s.items())) for n, s in sorted(out["histograms"].items())
+    }
+    return out
 
 
 class MetricsRegistry:

@@ -27,6 +27,8 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     label_key,
     merge_snapshots,
+    parse_label_key,
+    relabel_snapshot,
 )
 
 
@@ -39,6 +41,59 @@ class TestLabelKey:
 
     def test_values_stringified(self):
         assert label_key({"n": 16}) == 'n="16"'
+
+
+class TestParseLabelKey:
+    def test_inverts_label_key(self):
+        labels = {"policy": "edf", "shard": "3"}
+        assert parse_label_key(label_key(labels)) == labels
+
+    def test_empty(self):
+        assert parse_label_key("") == {}
+
+    @pytest.mark.parametrize("bad", ["a=x", 'a="x', '="x"', "a", 'a="x",b'])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_label_key(bad)
+
+
+class TestRelabelSnapshot:
+    @staticmethod
+    def _snap():
+        reg = MetricsRegistry()
+        reg.count("repro_rounds_total", 5)
+        reg.count("repro_drops_total", 2, phase="drop")
+        reg.gauge("repro_pending_jobs", 7)
+        reg.observe("sizes", 3)
+        return reg.snapshot()
+
+    def test_every_series_gains_the_extra_labels(self):
+        out = relabel_snapshot(self._snap(), worker=1, shard=1)
+        assert out["counters"]["repro_rounds_total"] == {
+            'shard="1",worker="1"': 5
+        }
+        assert out["counters"]["repro_drops_total"] == {
+            'phase="drop",shard="1",worker="1"': 2
+        }
+        assert out["gauges"]["repro_pending_jobs"] == {
+            'shard="1",worker="1"': 7
+        }
+        cell = out["histograms"]["sizes"]['shard="1",worker="1"']
+        assert cell["count"] == 1
+
+    def test_existing_labels_win_on_collision(self):
+        reg = MetricsRegistry()
+        reg.count("x_total", 1, shard="9")
+        out = relabel_snapshot(reg.snapshot(), shard=0, worker=0)
+        assert out["counters"]["x_total"] == {'shard="9",worker="0"': 1}
+
+    def test_relabelled_snapshots_merge_without_collisions(self):
+        merged = merge_snapshots([
+            relabel_snapshot(self._snap(), worker=0, shard=0),
+            relabel_snapshot(self._snap(), worker=1, shard=1),
+        ])
+        assert len(merged["counters"]["repro_rounds_total"]) == 2
+        assert sum(merged["counters"]["repro_rounds_total"].values()) == 10
 
 
 class TestRegistry:
@@ -255,6 +310,114 @@ class TestPrometheusRendering:
 
     def test_empty_snapshot_renders_empty(self):
         assert tele.render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestQuantiles:
+    def test_exact_quantile_nearest_rank(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert tele.exact_quantile(samples, 0.50) == 0.2
+        assert tele.exact_quantile(samples, 1.00) == 0.4
+        assert tele.exact_quantile([7.0], 0.99) == 7.0
+
+    def test_exact_quantile_empty_and_bad_q(self):
+        assert tele.exact_quantile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            tele.exact_quantile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            tele.exact_quantile([1.0], 1.5)
+
+    def test_quantile_summary_keys_and_scale(self):
+        summary = tele.quantile_summary([0.001, 0.002, 0.003], scale=1e3)
+        assert sorted(summary) == ["p50", "p95", "p99"]
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 3.0
+
+    def test_histogram_quantile_interpolates(self):
+        reg = MetricsRegistry()
+        for value in (0.5, 1.5, 1.5, 4.0):  # DEFAULT_BUCKETS: 1, 2, 5, ...
+            reg.observe("sizes", value)
+        cell = reg.snapshot()["histograms"]["sizes"][""]
+        assert tele.histogram_quantile(cell, 0.25) <= 1.0
+        assert 1.0 <= tele.histogram_quantile(cell, 0.5) <= 2.0
+        assert 2.0 <= tele.histogram_quantile(cell, 0.99) <= 5.0
+
+    def test_histogram_quantile_empty_cell(self):
+        cell = {"bounds": [1, 2], "buckets": [0, 0, 0], "sum": 0.0, "count": 0}
+        assert tele.histogram_quantile(cell, 0.95) == 0.0
+
+
+class TestParsePrometheus:
+    @staticmethod
+    def _full_snapshot():
+        reg = MetricsRegistry()
+        reg.count("repro_serve_ticks_total", 12)
+        reg.count("repro_serve_frames_total", 3, kind="submit")
+        reg.gauge("repro_serve_pending_jobs", 5)
+        reg.observe("repro_serve_round_seconds", 0.002)
+        reg.observe("repro_serve_round_seconds", 0.3)
+        reg.observe("repro_serve_admission_seconds", 0.001, )
+        return reg.snapshot()
+
+    def test_round_trips_render_output_exactly(self):
+        snap = self._full_snapshot()
+        assert tele.parse_prometheus(tele.render_prometheus(snap)) == snap
+
+    def test_round_trips_relabelled_worker_snapshots(self):
+        snap = relabel_snapshot(self._full_snapshot(), worker=0, shard=0)
+        assert tele.parse_prometheus(tele.render_prometheus(snap)) == snap
+
+    def test_untyped_families_degrade_to_gauges(self):
+        snap = tele.parse_prometheus('foreign_metric{a="b"} 4\n')
+        assert snap["gauges"]["foreign_metric"] == {'a="b"': 4}
+
+    def test_unparsable_sample_raises(self):
+        with pytest.raises(ValueError, match="unparsable sample line"):
+            tele.parse_prometheus("!!! not a sample\n")
+
+
+class TestObservabilityMetricFamilies:
+    """Every metric family the observability PR added renders with a HELP
+    line and grammar-clean samples (the prom-grammar satellite)."""
+
+    NEW_FAMILIES = (
+        "repro_serve_admission_seconds",
+        "repro_serve_worker_respawns_total",
+        "repro_serve_worker_commits_total",
+        "repro_serve_worker_scrape_failures_total",
+        "repro_serve_subscribers_dropped_total",
+        "repro_serve_spans_total",
+    )
+
+    @staticmethod
+    def _render_all():
+        from repro.telemetry.prom import HELP
+
+        reg = MetricsRegistry()
+        for name in TestObservabilityMetricFamilies.NEW_FAMILIES:
+            assert name in HELP, f"{name} has no HELP text"
+            if name.endswith("_seconds"):
+                reg.observe(name, 0.001, shard="0")
+            else:
+                reg.count(name, 1, shard="0")
+        return tele.render_prometheus(reg.snapshot())
+
+    def test_every_new_family_has_help_and_type(self):
+        text = self._render_all()
+        for name in self.NEW_FAMILIES:
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+    def test_every_line_matches_the_text_format_grammar(self):
+        for line in self._render_all().splitlines():
+            assert PROM_COMMENT.match(line) or PROM_SAMPLE.match(line), line
+
+    def test_admission_histogram_uses_pinned_buckets(self):
+        from repro.telemetry.registry import BUCKETS
+
+        reg = MetricsRegistry()
+        reg.observe("repro_serve_admission_seconds", 0.001)
+        cell = reg.snapshot()["histograms"]["repro_serve_admission_seconds"][""]
+        assert cell["bounds"] == list(BUCKETS["repro_serve_admission_seconds"])
 
 
 class TestTelemetryNeverChangesResults:

@@ -141,6 +141,105 @@ class TestLoadgenErrors:
             ])
 
 
+class TestObservabilityCli:
+    @pytest.fixture
+    def workers_server(self, tmp_path):
+        """A --workers server with spans on, driven by one loadgen pass."""
+        port_file = tmp_path / "ports.json"
+        spans_file = tmp_path / "spans.jsonl"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port-file", str(port_file),
+                "--journal", str(tmp_path / "journal.jsonl"),
+                "--spans", str(spans_file),
+                "--workers", "--shards", "2", "--n", "16", "--delta", "4",
+                "--quiet",
+            ],
+            env=serve_env(),
+            cwd=REPO,
+        )
+        try:
+            wait_for(port_file)
+            ports = json.loads(port_file.read_text())
+            rc = main([
+                "loadgen", "--port", str(ports["port"]),
+                "--workload", "poisson", "--delta", "4", "--horizon", "48",
+            ])
+            assert rc == 0
+            yield {**ports, "spans": spans_file}
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20) == 0
+
+    def test_metrics_url_scrapes_the_live_server(self, workers_server, capsys):
+        url = f"http://127.0.0.1:{workers_server['metrics_port']}/metrics"
+        rc = main(["metrics", "--url", url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro_serve_ticks_total" in out
+        # worker series made it through the scrape-parse-render loop
+        assert 'shard="0",worker="0"' in out
+        assert 'shard="1",worker="1"' in out
+
+    def test_metrics_url_prom_format_round_trips(self, workers_server, capsys):
+        from repro.telemetry import parse_prometheus
+
+        url = f"http://127.0.0.1:{workers_server['metrics_port']}/metrics"
+        rc = main(["metrics", "--url", url, "--format", "prom"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snap = parse_prometheus(out)
+        assert "repro_rounds_total" in snap["counters"]
+
+    def test_top_renders_per_shard_table(self, workers_server, capsys):
+        url = f"http://127.0.0.1:{workers_server['metrics_port']}/metrics"
+        rc = main(["top", "--url", url, "--count", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        header, shard0, shard1 = (
+            line for line in out.splitlines()
+            if line.startswith(("| shard", "|     0", "|     1"))
+        )
+        assert "respawns" in header and "tick p95 ms" in header
+        assert "server: ticks" in out
+
+    def test_spans_cli_renders_complete_trees(self, workers_server, capsys):
+        rc = main(["spans", str(workers_server["spans"]), "--limit", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace t00" in out
+        for name in ("submit", "admit", "wal.intent", "commit"):
+            assert name in out
+
+    def test_spans_json_mode_strips_wall_ms(self, workers_server, capsys):
+        rc = main([
+            "spans", str(workers_server["spans"]), "--json",
+            "--trace", "t000001",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records
+        assert all(r["trace"] == "t000001" for r in records)
+        assert all("wall_ms" not in r for r in records)
+
+    def test_metrics_url_and_input_are_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["metrics", "--url", "http://x/metrics", "--input", "f.json"])
+
+    def test_top_needs_url_or_port_file(self):
+        with pytest.raises(SystemExit, match="--url or --port-file"):
+            main(["top"])
+
+    def test_spans_rejects_a_non_span_file(self, tmp_path):
+        bogus = tmp_path / "not-spans.jsonl"
+        bogus.write_text('{"kind": "other"}\n')
+        with pytest.raises(SystemExit, match="repro-trace-v2"):
+            main(["spans", str(bogus)])
+
+
 class TestServeConfigErrors:
     def test_bad_shard_split_is_a_clean_error(self):
         # 17 resources over 3 shards gives dlru-edf a capacity it rejects;

@@ -387,8 +387,11 @@ class TestStatsWireShape:
             stats = await conn.call({"type": "stats"})
             assert stats["round"] == 0
             assert sorted(stats) == [
-                "closed", "jobs", "pending", "round", "shards", "type",
+                "closed", "jobs", "latency", "pending", "round", "shards",
+                "type",
             ]
+            assert sorted(stats["latency"]) == ["admission_ms", "tick_ms"]
+            assert sorted(stats["latency"]["tick_ms"]) == ["p50", "p95", "p99"]
             for shard_stats in stats["shards"]:
                 assert shard_stats["round"] == 0
                 assert sorted(shard_stats) == [
