@@ -278,6 +278,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--inject-faults", default=None, metavar="PLAN",
                          help="fault plan (inline JSON or a path) installed "
                          "in shard workers; REPRO_FAULT_PLAN also works")
+    p_serve.add_argument("--tenants", default=None, metavar="PLAN_JSON",
+                         help="tenant plan file ({'tenants': [...]}); each "
+                         "entry is a named color set with an exact (rate, "
+                         "delay-bound) contract, BDR-checked at startup and "
+                         "token-bucket enforced per shard")
+    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="close protocol connections that send no frame "
+                         "for this long (0 = never; default: 300)")
     p_serve.add_argument("--port-file", default=None, metavar="PATH",
                          help="write the bound ports as JSON once listening "
                          "(what the CI smoke leg and tests poll for)")
@@ -304,6 +313,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--horizon", type=int, default=None)
     p_load.add_argument("--no-verify", action="store_true",
                         help="skip the offline digest verification")
+    p_load.add_argument("--tenants", default=None, metavar="PLAN_JSON",
+                        help="register this tenant plan on connect (same "
+                        "file 'repro serve --tenants' takes); shed counts "
+                        "land in the report and verification excludes shed "
+                        "jobs")
+    p_load.add_argument("--connect-attempts", type=int, default=8,
+                        metavar="N",
+                        help="connection attempts with deterministic "
+                        "exponential backoff before giving up (default: 8)")
     p_load.add_argument("--json", default=None, metavar="OUT",
                         help="also write the full report as JSON")
 
@@ -482,9 +500,22 @@ def _run_loadgen_command(args: argparse.Namespace) -> int:
         instance = load_instance(args.trace)
     else:
         instance = _make_instance(args)
+    tenants = None
+    if args.tenants:
+        from repro.serve import TenantError, load_plan
+
+        try:
+            tenants = [c.to_dict() for c in load_plan(args.tenants)]
+        except (OSError, ValueError, TenantError) as exc:
+            raise SystemExit(f"cannot read tenant plan {args.tenants}: {exc}")
     try:
         report = run_loadgen(
-            args.host, port, instance, verify=not args.no_verify
+            args.host,
+            port,
+            instance,
+            verify=not args.no_verify,
+            tenants=tenants,
+            connect_attempts=args.connect_attempts,
         )
     except (LoadgenError, ConnectionError, OSError) as exc:
         raise SystemExit(f"repro loadgen: {exc}")
@@ -496,6 +527,9 @@ def _run_loadgen_command(args: argparse.Namespace) -> int:
           f"{payload['rounds_per_second']:.0f} rounds/s)")
     print(f"executed {payload['executed']}, dropped {payload['dropped']}, "
           f"total cost {payload['total_cost']}")
+    if payload.get("shed"):
+        print(f"tenant shedding: {payload['shed']} job(s) shed by contract "
+              f"meters (excluded from verification)")
     print(f"tick latency: p50 {lat['p50']:.3f}ms  p99 {lat['p99']:.3f}ms  "
           f"mean {lat['mean']:.3f}ms")
     if payload["digests_match"] is not None:
@@ -852,6 +886,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
             worker_retries=args.worker_retries,
             worker_timeout=args.worker_timeout,
             fault_plan=args.inject_faults,
+            tenants=args.tenants,
+            idle_timeout=args.idle_timeout,
         )
         try:
             return serve_forever(config, quiet=args.quiet)

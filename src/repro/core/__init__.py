@@ -8,6 +8,13 @@ reconfiguration, execution), explicit schedules with an independent validity
 checker, and the round-loop simulator that drives online policies.
 """
 
+from repro.core.bdr import (
+    BDRInterface,
+    CompositionVerdict,
+    check_composition,
+    exact_fraction,
+    half_half_partition,
+)
 from repro.core.job import Job, Color
 from repro.core.request import Request, RequestSequence, Instance
 from repro.core.ledger import CostLedger
@@ -36,6 +43,11 @@ from repro.core.notation import (
 )
 
 __all__ = [
+    "BDRInterface",
+    "CompositionVerdict",
+    "check_composition",
+    "exact_fraction",
+    "half_half_partition",
     "Job",
     "Color",
     "Request",

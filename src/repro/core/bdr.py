@@ -1,0 +1,155 @@
+"""Bounded-delay resource (BDR) interfaces with exact-Fraction arithmetic.
+
+A BDR interface abstracts a resource share as a pair (rate, delay): after a
+startup delay of ``delay`` rounds, the resource is guaranteed to supply work
+at ``rate`` jobs per round.  The supply-bound function
+
+    sbf(t) = 0                      if t <= delay
+             rate * (t - delay)     otherwise
+
+is the least amount of service any interval of length ``t`` receives.  The
+model follows the classical compositional result (SNIPPETS.md section 1): a
+parent interface can host a set of child interfaces iff
+
+    (1) sum(child.rate) <= parent.rate          (rate feasibility)
+    (2) child.delay > parent.delay  for all     (delay feasibility)
+
+We use this Theorem-1-style check at tenant-registration time: each serve
+shard is a parent interface whose rate comes from the existing
+``split_capacity`` apportionment (scaled by machine speed) and whose delay is
+the reconfiguration latency Delta; a tenant's per-shard share is a child
+interface whose delay is the tenant's contracted delay bound.  All arithmetic
+is exact ``fractions.Fraction`` — no float drift in admission decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = [
+    "BDRInterface",
+    "CompositionVerdict",
+    "check_composition",
+    "exact_fraction",
+    "half_half_partition",
+]
+
+
+def exact_fraction(value: int | float | str | Fraction) -> Fraction:
+    """Convert a rate-like value to an exact Fraction.
+
+    Floats go through their shortest decimal repr so 0.3 means 3/10, not the
+    binary-float neighbour.  Strings accept both decimal ("0.25") and ratio
+    ("1/4") forms, which is what tenant plan files carry.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("rate must be numeric, not bool")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(str(value))
+    if isinstance(value, str):
+        return Fraction(value.strip())
+    raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
+
+
+@dataclass(frozen=True)
+class BDRInterface:
+    """A bounded-delay resource interface: (rate, delay).
+
+    ``rate`` is jobs per round (exact Fraction, > 0); ``delay`` is the
+    worst-case startup latency in rounds (exact Fraction, >= 0).
+    """
+
+    rate: Fraction
+    delay: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rate", exact_fraction(self.rate))
+        object.__setattr__(self, "delay", exact_fraction(self.delay))
+        if self.rate <= 0:
+            raise ValueError(f"BDR rate must be positive, got {self.rate}")
+        if self.delay < 0:
+            raise ValueError(f"BDR delay must be non-negative, got {self.delay}")
+
+    def sbf(self, interval: int | float | str | Fraction) -> Fraction:
+        """Supply-bound function: guaranteed service in any window of length
+        ``interval`` rounds."""
+        t = exact_fraction(interval)
+        if t <= self.delay:
+            return Fraction(0)
+        return self.rate * (t - self.delay)
+
+    def can_host(self, children: Iterable["BDRInterface"]) -> bool:
+        """Theorem-1 composition: True iff this parent can host ``children``."""
+        return check_composition(self, children).schedulable
+
+
+@dataclass(frozen=True)
+class CompositionVerdict:
+    """Structured result of a Theorem-1 composition check."""
+
+    schedulable: bool
+    reason: str | None  # "rate_overflow" | "delay_too_tight" | None
+    demand: Fraction  # sum of child rates
+    supply: Fraction  # parent rate
+    detail: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "schedulable": self.schedulable,
+            "reason": self.reason,
+            "demand": str(self.demand),
+            "supply": str(self.supply),
+            "detail": self.detail,
+        }
+
+
+def check_composition(
+    parent: BDRInterface, children: Iterable[BDRInterface]
+) -> CompositionVerdict:
+    """Decide whether ``parent`` can host every interface in ``children``.
+
+    Rate feasibility is checked first (it is the budget constraint operators
+    reason about); delay feasibility second.  Both comparisons are exact.
+    """
+    kids = list(children)
+    demand = sum((child.rate for child in kids), Fraction(0))
+    if demand > parent.rate:
+        return CompositionVerdict(
+            schedulable=False,
+            reason="rate_overflow",
+            demand=demand,
+            supply=parent.rate,
+            detail=f"aggregate child rate {demand} exceeds parent rate {parent.rate}",
+        )
+    for child in kids:
+        if child.delay <= parent.delay:
+            return CompositionVerdict(
+                schedulable=False,
+                reason="delay_too_tight",
+                demand=demand,
+                supply=parent.rate,
+                detail=(
+                    f"child delay {child.delay} must exceed parent delay "
+                    f"{parent.delay}"
+                ),
+            )
+    return CompositionVerdict(
+        schedulable=True, reason=None, demand=demand, supply=parent.rate
+    )
+
+
+def half_half_partition(parent: BDRInterface) -> Sequence[BDRInterface]:
+    """Theorem-3-style half-half transform: split a parent into two equal
+    children, each with half the rate and double the (delay + one round of
+    slack).  Provided for analysis/tests; the serve path apportions by color
+    weight instead."""
+    child_rate = parent.rate / 2
+    child_delay = 2 * parent.delay + 1
+    child = BDRInterface(rate=child_rate, delay=child_delay)
+    return (child, child)

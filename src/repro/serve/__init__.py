@@ -13,7 +13,10 @@ digests are reproducible offline, which ``repro loadgen --verify``
 over HTTP via the telemetry layer.  With ``workers`` enabled, each
 shard runs in its own supervised worker process
 (:mod:`~repro.serve.workers`) with write-ahead journal replay on
-failover (:mod:`~repro.serve.journal`).
+failover (:mod:`~repro.serve.journal`).  Multi-tenant admission
+(:mod:`~repro.serve.tenants`) maps BDR-style (rate, delay-bound)
+contracts onto the shard capacities and sheds over-rate tenants'
+excess deterministically without touching compliant tenants.
 """
 
 from repro.serve.loadgen import LoadgenError, LoadgenReport, run_loadgen, verify_offline
@@ -39,6 +42,14 @@ from repro.serve.session import (
     shard_of,
     split_capacity,
 )
+from repro.serve.tenants import (
+    ShardTenantMeter,
+    TenantContract,
+    TenantDirectory,
+    TenantError,
+    load_plan,
+    shard_shares,
+)
 from repro.serve.workers import WorkerShardedSession
 
 __all__ = [
@@ -51,18 +62,24 @@ __all__ = [
     "SchedulingServer",
     "ServeConfig",
     "SessionShard",
+    "ShardTenantMeter",
     "ShardedSession",
+    "TenantContract",
+    "TenantDirectory",
+    "TenantError",
     "WorkerShardedSession",
     "decode_frame",
     "encode_frame",
     "job_from_wire",
     "job_to_wire",
+    "load_plan",
     "read_records",
     "replay_session",
     "replay_shard",
     "run_loadgen",
     "serve_forever",
     "shard_of",
+    "shard_shares",
     "split_capacity",
     "verify_offline",
 ]

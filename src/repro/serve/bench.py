@@ -171,6 +171,13 @@ def run_bench(scale: str = "quick", seed: int = 0, spans: str | None = None) -> 
         "all_digests_match": all(c["digests_match"] for c in cases),
         "workers_gate": workers_gate,
         "workers_gate_enforced": workers_gate is not None and cpus >= 2,
+        # The gate stays record-only on single-CPU hosts: four worker
+        # processes pinned to one core measure IPC overhead, not the
+        # architecture.  Revisit when CI gets a multi-core runner.
+        "workers_gate_note": (
+            "record-only on 1-CPU hosts (workers cannot beat single-process "
+            "without parallelism; see ROADMAP)"
+        ),
     }
 
 

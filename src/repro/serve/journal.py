@@ -47,6 +47,7 @@ from typing import Iterable, Sequence
 from repro.core.job import Job
 from repro.serve.protocol import job_from_wire, job_to_wire
 from repro.serve.session import SessionShard, ShardedSession, shard_of
+from repro.serve.tenants import ShardTenantMeter, TenantContract, shard_shares
 from repro.utils.jsonl import read_jsonl
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "replay_shard",
     "round_record",
     "submit_record",
+    "tenant_record",
 ]
 
 JOURNAL_SCHEMA = "repro-serve-journal-v2"
@@ -99,6 +101,15 @@ def round_record(result: dict) -> dict:
     return {"kind": "round", **result}
 
 
+def tenant_record(contract: dict) -> dict:
+    """An admitted tenant registration (``contract`` is the wire form from
+    :meth:`~repro.serve.tenants.TenantContract.to_dict`).  Written after
+    the BDR check passed and *before* any meter is installed, so replay
+    rebuilds the exact token-bucket trajectory: registration sets the
+    bucket full, each marked submit debits, each round refills."""
+    return {"kind": "tenant", "tenant": contract}
+
+
 # -- replay -------------------------------------------------------------------
 
 
@@ -113,10 +124,11 @@ def replay_ops(
     """The admitted history as an ordered op list.
 
     Returns ``("submit", [Job, ...])`` for every batch whose ``commit``
-    marker made it to disk and ``("round", rnd)`` per completed round,
-    in journal order.  Pre-WAL v1 journals (submit records with no
-    ``seq``) replay too: v1 wrote submits only after commit, so every
-    v1 submit record counts as marked.
+    marker made it to disk, ``("round", rnd)`` per completed round, and
+    ``("tenant", contract_dict)`` per admitted tenant registration, in
+    journal order.  Pre-WAL v1 journals (submit records with no ``seq``)
+    replay too: v1 wrote submits only after commit, so every v1 submit
+    record counts as marked.
     """
     record_list = list(records)
     marked = {
@@ -136,6 +148,8 @@ def replay_ops(
             ops.append(("submit", jobs))
         elif kind == "round":
             ops.append(("round", record["round"]))
+        elif kind == "tenant":
+            ops.append(("tenant", record["tenant"]))
     return ops
 
 
@@ -143,6 +157,7 @@ def replay_shard(
     records: Iterable[dict],
     shard: SessionShard,
     shards: int,
+    meter: ShardTenantMeter | None = None,
 ) -> int:
     """Rebuild one shard's state from the journal; returns rounds stepped.
 
@@ -151,6 +166,11 @@ def replay_shard(
     colors with the same :func:`shard_of` routing the live server uses,
     and rounds are stepped in journal order, so the rebuilt simulator's
     component digests are byte-identical to an uninterrupted run.
+
+    With ``meter`` supplied, tenant registrations re-install this shard's
+    share and the token buckets are replayed too: marked submits only
+    ever contain admitted jobs (sheds never reach the journal), so the
+    debit/refill fold lands on exactly the live meter's token counts.
     """
     stepped = 0
     for op, payload in replay_ops(records):
@@ -158,9 +178,24 @@ def replay_shard(
             for job in payload:  # type: ignore[union-attr]
                 if shard_of(job.color, shards) == shard.shard_id:
                     shard.live.push(job)
-        else:
+                    if meter is not None:
+                        meter.debit((job,))
+        elif op == "round":
             shard.step(payload)  # type: ignore[arg-type]
             stepped += 1
+            if meter is not None:
+                meter.refill()
+        else:  # tenant registration
+            contract = TenantContract.from_dict(payload)  # type: ignore[arg-type]
+            shares = shard_shares(contract, shards)
+            if meter is not None and shard.shard_id in shares:
+                rate, burst = shares[shard.shard_id]
+                colors = [
+                    c
+                    for c in contract.colors
+                    if shard_of(c, shards) == shard.shard_id
+                ]
+                meter.register(contract.name, colors, rate, burst)
     return stepped
 
 
@@ -172,13 +207,20 @@ def replay_session(
 
     The crash-recovery path for single-process serve (and the oracle the
     per-shard replay is tested against): marked submits go through the
-    session's own admission gate, rounds through :meth:`tick`.
+    session's own admission gate, rounds through :meth:`tick`, tenant
+    registrations through :meth:`register_tenant`.  Journaled submits
+    carry only admitted jobs, so replay sheds nothing and the rebuilt
+    meters match the live ones exactly.
     """
     stepped = 0
     for op, payload in replay_ops(records):
         if op == "submit":
             session.submit(payload)  # type: ignore[arg-type]
-        else:
+        elif op == "round":
             session.tick()
             stepped += 1
+        else:
+            session.register_tenant(
+                TenantContract.from_dict(payload)  # type: ignore[arg-type]
+            )
     return stepped

@@ -58,6 +58,10 @@ class LoadgenReport:
     offline_digests: list[dict] = field(default_factory=list)
     digests_match: bool | None = None  # None = verification skipped
     params: dict = field(default_factory=dict)
+    #: jobs the server's tenant meters shed (uids from accept frames);
+    #: always empty when the server has no tenants registered.
+    shed: int = 0
+    shed_uids: list[int] = field(default_factory=list)
 
     @property
     def jobs_per_second(self) -> float:
@@ -80,6 +84,7 @@ class LoadgenReport:
         return {
             "rounds": self.rounds,
             "jobs": self.jobs,
+            "shed": self.shed,
             "executed": self.executed,
             "dropped": self.dropped,
             "total_cost": self.total_cost,
@@ -139,7 +144,12 @@ class _Client:
         return frame
 
 
-def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
+def verify_offline(
+    instance: Instance,
+    params: dict,
+    rounds: int,
+    exclude_uids: frozenset[int] | set[int] = frozenset(),
+) -> list[dict]:
     """Recompute every shard's component digests offline.
 
     ``params`` is the server's welcome/stats configuration (shards,
@@ -147,6 +157,10 @@ def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
     exactly like :meth:`ShardedSession.submit` routes them — same hash,
     same within-round order — so equal digests mean the live run and
     :meth:`Simulator.run` agree bit for bit.
+
+    ``exclude_uids`` removes jobs the live server shed under a tenant
+    contract before they reached any shard: the offline replay must see
+    exactly the admitted sequence, so a flooded run still verifies.
     """
     shards = params["shards"]
     capacities = params["shard_capacity"]
@@ -155,6 +169,8 @@ def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
     per_shard: list[list] = [[] for _ in range(shards)]
     for rnd in range(instance.horizon):
         for job in instance.sequence.request(rnd):
+            if job.uid in exclude_uids:
+                continue
             per_shard[shard_of(job.color, shards)].append(job)
     digests = []
     for shard_id, jobs in enumerate(per_shard):
@@ -184,14 +200,44 @@ def verify_offline(instance: Instance, params: dict, rounds: int) -> list[dict]:
     return digests
 
 
+async def _connect_with_retry(
+    host: str,
+    port: int,
+    attempts: int,
+    base: float = 0.05,
+    cap: float = 1.0,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Bounded, deterministic retry around ``asyncio.open_connection``.
+
+    The serve smoke path races the server's listen against the client's
+    first connect (the port file can exist before accept() is armed), and
+    transient ECONNREFUSED/ECONNRESET show up under load.  Delays are a
+    fixed exponential ladder — ``min(cap, base * 2**k)`` with no jitter —
+    so a failing run fails in the same amount of time every time.
+    """
+    last: Exception | None = None
+    for attempt in range(attempts):
+        if attempt:
+            await asyncio.sleep(min(cap, base * (2 ** (attempt - 1))))
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError) as exc:
+            last = exc
+    raise LoadgenError(
+        f"cannot connect to {host}:{port} after {attempts} attempts: {last}"
+    )
+
+
 async def _replay(
     host: str,
     port: int,
     instance: Instance,
     verify: bool,
     expected_delta: bool,
+    tenants: list[dict] | None = None,
+    connect_attempts: int = 8,
 ) -> LoadgenReport:
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _connect_with_retry(host, port, connect_attempts)
     client = _Client(reader, writer)
     report = LoadgenReport()
     try:
@@ -222,6 +268,19 @@ async def _replay(
             if key in welcome
         }
 
+        for entry in tenants or ():
+            await client.send({
+                "type": "tenant_register",
+                "id": f"tenant:{entry.get('name')}",
+                "tenant": entry,
+            })
+            reply = await client.expect("tenant_ok", "reject")
+            if reply["type"] == "reject":
+                raise LoadgenError(
+                    f"tenant {entry.get('name')!r} rejected "
+                    f"({reply.get('reason')}): {reply.get('message')}"
+                )
+
         horizon = instance.horizon
         t_start = perf_counter()
         for rnd in range(horizon):
@@ -239,7 +298,12 @@ async def _replay(
                         f"round {rnd}: submit rejected "
                         f"({reply.get('reason')}): {reply.get('message')}"
                     )
-                report.jobs += len(chunk)
+                # count = jobs actually admitted; with tenant shedding it
+                # can undercut the chunk, and the shed uids must be
+                # excluded from the offline verification replay.
+                report.jobs += int(reply.get("count", len(chunk)))
+                report.shed += int(reply.get("shed", 0))
+                report.shed_uids.extend(reply.get("shed_uids", ()))
             t0 = perf_counter()
             await client.send({"type": "tick"})
             result = await client.expect("result")
@@ -268,7 +332,10 @@ async def _replay(
         ]
         if verify:
             report.offline_digests = verify_offline(
-                instance, report.params, report.rounds
+                instance,
+                report.params,
+                report.rounds,
+                exclude_uids=frozenset(report.shed_uids),
             )
             report.digests_match = (
                 report.server_digests == report.offline_digests
@@ -290,6 +357,23 @@ def run_loadgen(
     instance: Instance,
     verify: bool = True,
     check_delta: bool = True,
+    tenants: list[dict] | None = None,
+    connect_attempts: int = 8,
 ) -> LoadgenReport:
-    """Blocking replay of ``instance`` against ``host:port``."""
-    return asyncio.run(_replay(host, port, instance, verify, check_delta))
+    """Blocking replay of ``instance`` against ``host:port``.
+
+    ``tenants`` (wire-form contract dicts) are registered over the
+    protocol before any submit; ``connect_attempts`` bounds the
+    deterministic connect retry ladder.
+    """
+    return asyncio.run(
+        _replay(
+            host,
+            port,
+            instance,
+            verify,
+            check_delta,
+            tenants=tenants,
+            connect_attempts=connect_attempts,
+        )
+    )

@@ -2,7 +2,7 @@
 
 Newline-delimited JSON over a byte stream: every frame is one JSON
 object on one line, with a ``type`` field.  The protocol is
-deliberately small — five client frame types, and server frames that
+deliberately small — seven client frame types, and server frames that
 mirror them:
 
 Client → server
@@ -16,6 +16,13 @@ Client → server
                 ``{"type": "tick", "rounds": 1?}``.
     ``stats``   request the deterministic session snapshot (per-shard
                 ledgers and digests).
+    ``tenant_register``  register a tenant contract: ``{"type":
+                "tenant_register", "tenant": {"name": ..., "colors":
+                [...], "rate": "1/2", "delay_bound": D, "burst": B?}}``.
+                Answered with ``tenant_ok`` (per-shard placement) or
+                ``reject`` with a structured BDR reason.
+    ``tenant_stats``  request per-tenant contracts and
+                submitted/admitted/shed counters.
     ``bye``     close the connection cleanly.
 
 Server → client
@@ -26,11 +33,20 @@ Server → client
                 ``inconsistent_delay_bound``, ``backpressure``,
                 ``duplicate_uid``, ``bad_frame``, ``closed``,
                 ``timer_clock``) — the server never silently drops a
-                job beyond the model's own deadline drops.
+                job beyond the model's own deadline drops.  When tenants
+                are registered, ``accept`` additionally carries ``shed``
+                (count) and ``shed_uids`` for the jobs the submitter's
+                over-rate tenants lost; ``count`` is the jobs actually
+                admitted.  Without tenants these fields never appear and
+                the frame is byte-identical to the tenant-free protocol.
+    ``tenant_ok`` / ``tenant_stats``  replies to the tenant frames.
     ``result``  one per ticked round: executed/dropped uids, recolored
                 locations, per-round cost delta.
     ``stats``   the snapshot reply.
-    ``error``   a malformed frame (connection stays open when possible).
+    ``error``   a malformed frame (connection stays open when possible),
+                or an idle disconnect (``code: "idle_timeout"``) when a
+                non-subscriber sends nothing for the server's configured
+                idle window.
     ``bye``     goodbye echo.
 
 Colors use the same codec as traces and schedules
@@ -62,7 +78,9 @@ PROTOCOL = "repro-serve-v1"
 MAX_FRAME_BYTES = 1 << 20
 
 #: frame types a server accepts.
-CLIENT_FRAMES = frozenset({"hello", "submit", "tick", "stats", "bye"})
+CLIENT_FRAMES = frozenset(
+    {"hello", "submit", "tick", "stats", "tenant_register", "tenant_stats", "bye"}
+)
 
 
 class ProtocolError(ValueError):

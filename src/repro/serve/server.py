@@ -41,6 +41,7 @@ from repro.serve.journal import (
     commit_record,
     round_record,
     submit_record,
+    tenant_record,
 )
 from repro.serve.protocol import (
     CLIENT_FRAMES,
@@ -52,6 +53,7 @@ from repro.serve.protocol import (
     job_from_wire,
 )
 from repro.serve.session import AdmissionError, ShardedSession
+from repro.serve.tenants import TenantContract, TenantError, load_plan
 from repro.serve.workers import WorkerShardedSession
 from repro.telemetry.prom import render_prometheus
 from repro.telemetry.quantiles import quantile_summary
@@ -115,6 +117,15 @@ class ServeConfig:
     #: recent tick/admission latency samples kept for the stats frame's
     #: exact percentiles.
     latency_window: int = 4096
+    #: tenant plan path (``{"tenants": [contract, ...]}``) registered at
+    #: startup; None leaves multi-tenant admission off entirely — no
+    #: shedding, no tenant telemetry, digests byte-identical to a server
+    #: without the feature.
+    tenants: str | None = None
+    #: seconds a non-subscriber connection may sit in ``readline()``
+    #: without sending a frame before the server closes it with a
+    #: structured ``idle_timeout`` error; 0 disables the timeout.
+    idle_timeout: float = 300.0
 
     def __post_init__(self) -> None:
         from repro.core.engine import resolve_engine
@@ -151,6 +162,10 @@ class ServeConfig:
         if self.latency_window < 1:
             raise ValueError(
                 f"latency_window must be >= 1, got {self.latency_window}"
+            )
+        if self.idle_timeout < 0:
+            raise ValueError(
+                f"idle_timeout must be >= 0, got {self.idle_timeout}"
             )
         if self.workers and not self.journal:
             # Workers cannot fail over without a journal to replay; give
@@ -219,6 +234,11 @@ class SchedulingServer:
             else None
         )
         self._submit_seq = 0
+        #: contracts from --tenants, registered (BDR-checked, journaled,
+        #: installed) in plan order during :meth:`start`.
+        self._tenant_plan = (
+            load_plan(config.tenants) if config.tenants else []
+        )
         self._server: asyncio.AbstractServer | None = None
         self._metrics_server: asyncio.AbstractServer | None = None
         self._timer_task: asyncio.Task | None = None
@@ -296,6 +316,11 @@ class SchedulingServer:
                 "proto": PROTOCOL,
                 **self._session_params(),
             })
+        # Plan tenants register after the journal header so a failover
+        # replay sees them in WAL order.  A plan the BDR check rejects
+        # fails startup loudly rather than serving with a partial plan.
+        for contract in self._tenant_plan:
+            self._register_tenant(contract)
 
     def request_stop(self) -> None:
         """Ask :meth:`serve_until_stopped` to wind down (signal-safe)."""
@@ -547,6 +572,15 @@ class SchedulingServer:
         if kind == "submit":
             return [self._handle_submit(frame)], True
 
+        if kind == "tenant_register":
+            return [self._handle_tenant_register(frame)], True
+
+        if kind == "tenant_stats":
+            return [{
+                "type": "tenant_stats",
+                "tenants": self.session.tenant_stats(),
+            }], True
+
         if kind == "tick":
             if self.config.clock != "client":
                 return [{
@@ -578,6 +612,50 @@ class SchedulingServer:
 
         # bye
         return [{"type": "bye"}], False
+
+    def _register_tenant(self, contract: TenantContract) -> list[dict]:
+        """WAL-disciplined tenant registration.
+
+        Order matters: the pure BDR :meth:`~TenantDirectory.check` decides
+        first, the journal record lands (fsynced) second, installation —
+        which in workers mode fans a pipe op out to every shard process —
+        happens last, so a replaying worker always sees an admitted
+        tenant's record before any submit its meters influenced.
+        Raises :class:`TenantError` (nothing journaled, nothing installed)
+        when the contract is unschedulable.
+        """
+        self.session.tenants.check(contract)
+        if self.journal is not None:
+            self.journal.append(tenant_record(contract.to_dict()), sync=True)
+        placement = self.session.register_tenant(contract)
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "repro_serve_tenants", len(self.session.tenants.contracts)
+            )
+        return placement
+
+    def _handle_tenant_register(self, frame: dict) -> dict:
+        telem = self.telemetry
+        try:
+            contract = TenantContract.from_dict(frame.get("tenant") or {})
+            placement = self._register_tenant(contract)
+        except TenantError as exc:
+            if telem.enabled:
+                telem.count(
+                    "repro_serve_tenant_rejects_total", reason=exc.reason
+                )
+            return {
+                "type": "reject",
+                "id": frame.get("id"),
+                "reason": exc.reason,
+                "message": exc.message,
+            }
+        return {
+            "type": "tenant_ok",
+            "id": frame.get("id"),
+            "name": contract.name,
+            "placement": placement,
+        }
 
     def _handle_submit(self, frame: dict) -> dict:
         telem = self.telemetry
@@ -646,6 +724,48 @@ class SchedulingServer:
                 "message": str(exc),
                 "index": exc.index,
             }
+        # With tenants registered, validation may have shed an over-rate
+        # tenant's jobs; everything downstream (journal, commit, spans,
+        # job counters) sees only the kept jobs, so the journal replays
+        # shed-free and compliant tenants' state is exactly what it would
+        # be had the shed jobs never been submitted.
+        directory = self.session.tenants
+        shed = list(self.session.last_shed)
+        kept: Sequence[Job] = (
+            jobs if directory.empty else list(self.session.last_kept)
+        )
+        if not directory.empty:
+            submitted_by: dict[str, int] = {}
+            for job in jobs:
+                tenant = directory.tenant_of(job.color)
+                if tenant is not None:
+                    submitted_by[tenant] = submitted_by.get(tenant, 0) + 1
+            shed_by: dict[str, int] = {}
+            for entry in shed:
+                shed_by[entry["tenant"]] = shed_by.get(entry["tenant"], 0) + 1
+            for tenant in sorted(submitted_by):
+                lost = shed_by.get(tenant, 0)
+                directory.note(
+                    tenant,
+                    submitted=submitted_by[tenant],
+                    admitted=submitted_by[tenant] - lost,
+                    shed=lost,
+                )
+                if telem.enabled:
+                    telem.count(
+                        "repro_serve_tenant_submitted_total",
+                        submitted_by[tenant],
+                        tenant=tenant,
+                    )
+                    telem.count(
+                        "repro_serve_tenant_admitted_total",
+                        submitted_by[tenant] - lost,
+                        tenant=tenant,
+                    )
+                    if lost:
+                        telem.count(
+                            "repro_serve_tenant_shed_total", lost, tenant=tenant
+                        )
         if self.spans is not None:
             # One admit span per voting shard; the trace id each vote
             # carries made the round trip through the admission path
@@ -669,7 +789,7 @@ class SchedulingServer:
             tj = perf_counter()
             self.journal.append(
                 submit_record(
-                    self._submit_seq, self.session.round, jobs, trace=trace
+                    self._submit_seq, self.session.round, kept, trace=trace
                 ),
                 sync=True,
             )
@@ -685,29 +805,35 @@ class SchedulingServer:
                 self._span(
                     trace, "wal.commit", parent=root_id, seq=self._submit_seq
                 )
-        self.session.commit(jobs)
+        self.session.commit(kept)
         elapsed = perf_counter() - t0
         self._admission_window.append(elapsed)
         if telem.enabled:
-            telem.count("repro_serve_jobs_total", len(jobs))
+            telem.count("repro_serve_jobs_total", len(kept))
             telem.observe("repro_serve_admission_seconds", elapsed)
         if self.spans is not None:
             self._span(
                 trace, "commit", parent=root_id, round=self.session.round,
-                seq=self._submit_seq, jobs=len(jobs),
+                seq=self._submit_seq, jobs=len(kept),
             )
-            for job in jobs:
+            for job in kept:
                 self._trace_uids[job.uid] = trace
             self._span(
                 trace, "submit", round=submit_round, seq=self._trace_seq,
-                jobs=len(jobs), outcome="accept", wall_ms=elapsed * 1e3,
+                jobs=len(kept), outcome="accept", wall_ms=elapsed * 1e3,
             )
-        return {
+        reply = {
             "type": "accept",
             "id": submit_id,
-            "count": len(jobs),
+            "count": len(kept),
             "round": self.session.round,
         }
+        if not directory.empty:
+            # Additive fields, emitted only when tenants exist: a
+            # tenant-free server's accept frames stay byte-identical.
+            reply["shed"] = len(shed)
+            reply["shed_uids"] = [entry["uid"] for entry in shed]
+        return reply
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -718,8 +844,33 @@ class SchedulingServer:
         self._writers.add(writer)
         try:
             while not self._stopping.is_set():
+                # A client that connects and never sends would otherwise
+                # park this coroutine in readline() until shutdown.
+                # Subscribers are exempt: they legitimately go quiet and
+                # just receive broadcast result frames.
+                idle = self.config.idle_timeout
+                timed = idle > 0 and writer not in self._subscribers
                 try:
-                    line = await reader.readline()
+                    if timed:
+                        line = await asyncio.wait_for(
+                            reader.readline(), idle
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    if telem.enabled:
+                        telem.count("repro_serve_idle_disconnects_total")
+                    try:
+                        writer.write(encode_frame({
+                            "type": "error",
+                            "code": "idle_timeout",
+                            "message": f"no frame received in {idle:g}s; "
+                            f"closing idle connection",
+                        }))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
                 except (
                     asyncio.LimitOverrunError,
                     ValueError,

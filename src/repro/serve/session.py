@@ -35,6 +35,12 @@ from repro.core.job import Color, Job
 from repro.core.live import LiveSequence, LiveSequenceError
 from repro.core.simulator import Policy
 from repro.policies.dlru_edf import _exact_fraction
+from repro.serve.tenants import (
+    ShardTenantMeter,
+    TenantContract,
+    TenantDirectory,
+    shard_shares,
+)
 from repro.telemetry.recorder import Recorder
 
 __all__ = [
@@ -268,6 +274,22 @@ class ShardedSession:
         ]
         self._seen_uids: set[int] = set()
         self._closed = False
+        #: registration-time tenant admission (BDR composition against the
+        #: shard capacities above) plus per-tenant counters.
+        self.tenants = TenantDirectory(
+            shards=len(self.shards),
+            capacities=self.capacities,
+            speed=speed,
+            delta=int(delta),
+        )
+        self._meters = [ShardTenantMeter() for _ in self.shards]
+        #: jobs shed from the last successful validate
+        #: (``{"index", "uid", "tenant"}``, sorted by batch index) and the
+        #: jobs that survived it, in batch order.  With no tenants
+        #: registered, ``last_shed`` is always empty and ``last_kept`` is
+        #: the batch itself.
+        self.last_shed: list[dict] = []
+        self.last_kept: list[Job] = []
         #: per-shard admission votes from the last successful validate
         #: (``{"shard", "verdict", "jobs", "trace"}``); the server turns
         #: these into ``admit`` spans.  Purely observational.
@@ -308,14 +330,27 @@ class ShardedSession:
 
         ``trace`` is an opaque request id threaded through for span
         tracing; it never influences any admission decision.
+
+        With tenants registered, per-tenant shedding runs *first*: jobs an
+        over-rate tenant cannot afford are recorded in ``last_shed`` (pure
+        bucket simulation — nothing is debited until commit) and every
+        admission rule then runs on the surviving jobs only, so a
+        compliant tenant's outcome is independent of any other tenant's
+        flood.  ``last_kept`` holds the survivors in batch order; callers
+        must commit exactly that list.
         """
         self.last_admission_votes = []
+        self.last_shed = []
+        self.last_kept = list(jobs)
         if self._closed:
             raise AdmissionError("closed", "session is closed")
+        indexed = list(enumerate(jobs))
+        if not self.tenants.empty:
+            indexed = self._plan_sheds(indexed)
         bounds: dict[Color, int] = {}
         load: dict[int, int] = {}
         batch_uids: set[int] = set()
-        for index, job in enumerate(jobs):
+        for index, job in indexed:
             shard = self.shards[shard_of(job.color, len(self.shards))]
             try:
                 shard.live.check(job.color, job.arrival, job.delay_bound)
@@ -353,26 +388,74 @@ class ShardedSession:
             for sid in sorted(load)
         ]
 
+    def _plan_sheds(self, indexed: list[tuple[int, Job]]) -> list[tuple[int, Job]]:
+        """Per-shard, per-tenant shed planning (pure).  Fills ``last_shed``
+        and ``last_kept`` and returns the surviving (index, job) pairs in
+        batch order."""
+        per_shard: dict[int, list[tuple[int, Job]]] = {}
+        for index, job in indexed:
+            sid = shard_of(job.color, len(self.shards))
+            per_shard.setdefault(sid, []).append((index, job))
+        kept: list[tuple[int, Job]] = []
+        shed: list[dict] = []
+        for sid in sorted(per_shard):
+            shard_kept, shard_shed = self._meters[sid].plan(per_shard[sid])
+            kept.extend(shard_kept)
+            shed.extend(shard_shed)
+        kept.sort(key=lambda pair: pair[0])
+        shed.sort(key=lambda entry: entry["index"])
+        self.last_shed = shed
+        self.last_kept = [job for _, job in kept]
+        return kept
+
     def commit(self, jobs: Sequence[Job]) -> None:
         """Phase 2 of admission: buffer a *validated* batch on its shards.
 
         Preserves batch order within each shard.  Callers must have run
         :meth:`validate` on exactly this batch with no mutation in
-        between; commit itself cannot fail.
+        between — with tenants registered that means committing
+        ``last_kept``, not the raw batch; commit itself cannot fail.
+        Tenant buckets are debited here (never during validation), so a
+        batch another rule rejects leaves the meters untouched.
         """
+        metered = not self.tenants.empty
         for job in jobs:
-            self.shard_for(job.color).live.push(job)
+            sid = shard_of(job.color, len(self.shards))
+            self.shards[sid].live.push(job)
+            if metered:
+                self._meters[sid].debit((job,))
         self._seen_uids.update(job.uid for job in jobs)
 
-    def submit(self, jobs: Sequence[Job]) -> None:
+    def submit(self, jobs: Sequence[Job]) -> list[dict]:
         """Admit a batch atomically; raises :class:`AdmissionError`.
 
-        Either every job is accepted (and buffered on its color's shard,
-        in batch order) or none is — partial admission would make replay
-        verification impossible.
+        Either every non-shed job is accepted (and buffered on its color's
+        shard, in batch order) or none is — partial admission would make
+        replay verification impossible.  Returns the shed list (empty with
+        no tenants registered).
         """
         self.validate(jobs)
-        self.commit(jobs)
+        self.commit(self.last_kept)
+        return self.last_shed
+
+    def register_tenant(self, contract: TenantContract) -> list[dict]:
+        """Admit a tenant against the shard BDR interfaces and install its
+        per-shard token buckets.  Raises
+        :class:`~repro.serve.tenants.TenantError` with a structured reason
+        (``rate_overflow``, ``delay_too_tight``, ``color_conflict``, ...)
+        if the contract is unschedulable; on success returns the per-shard
+        placement.  Use ``self.tenants.check(contract)`` first when a
+        journal record must land between decision and installation."""
+        placement = self.tenants.admit(contract)
+        num = len(self.shards)
+        for sid, (rate, burst) in shard_shares(contract, num).items():
+            colors = [c for c in contract.colors if shard_of(c, num) == sid]
+            self._meters[sid].register(contract.name, colors, rate, burst)
+        return placement
+
+    def tenant_stats(self) -> list[dict]:
+        """Per-tenant contracts and submitted/admitted/shed counters."""
+        return self.tenants.stats()
 
     def tick(self) -> dict:
         """Advance every shard one round; returns the merged result frame."""
@@ -389,6 +472,9 @@ class ShardedSession:
             dropped.extend(part["dropped"])
             recolored += part["recolored"]
             cost += part["cost"]
+        if not self.tenants.empty:
+            for meter in self._meters:
+                meter.refill()
         return {
             "round": rnd,
             "executed": sorted(executed),

@@ -74,6 +74,12 @@ from repro.serve.session import (
     shard_of,
     split_capacity,
 )
+from repro.serve.tenants import (
+    ShardTenantMeter,
+    TenantContract,
+    TenantDirectory,
+    shard_shares,
+)
 from repro.telemetry.recorder import (
     Recorder,
     TelemetryRecorder,
@@ -132,12 +138,18 @@ def _shard_worker_main(
             name=params["name"],
             telemetry=recorder,
         )
+        # Tenant token buckets for this shard; rebuilt by replay on a
+        # respawn (registration fills, marked submits debit, rounds
+        # refill — sheds never reach the journal, so the fold is exact).
+        meter = ShardTenantMeter()
         replayed = 0
         if journal_path is not None:
             # Recovery: rebuild the dead predecessor's state.  No fault
             # is consulted during replay, or the rule that killed the
             # worker would kill every successor too.
-            replayed = replay_shard(read_records(journal_path), shard, shards)
+            replayed = replay_shard(
+                read_records(journal_path), shard, shards, meter=meter
+            )
     except Exception as exc:
         try:
             conn.send(
@@ -166,9 +178,16 @@ def _shard_worker_main(
             # the admission decision.
             trace = payload.get("trace")
             verdict: tuple | None = None
+            indexed = [
+                (index, _job_from_tuple(data))
+                for index, data in payload["jobs"]
+            ]
+            # Tenant shed planning first (pure — buckets untouched until
+            # commit): every further check sees only the kept jobs, and
+            # the shed list rides home inside this shard's vote.
+            kept_pairs, shed = meter.plan(indexed)
             jobs: list[Job] = []
-            for index, data in payload["jobs"]:
-                job = _job_from_tuple(data)
+            for index, job in kept_pairs:
                 try:
                     shard.live.check(job.color, job.arrival, job.delay_bound)
                 except LiveSequenceError as exc:
@@ -180,7 +199,11 @@ def _shard_worker_main(
                 # ever awaiting commit: replacing the cache also evicts
                 # any batch whose validation failed on another shard.
                 batches = {seq: jobs}
-                conn.send(("ok", seq, {"jobs": len(jobs), "trace": trace}))
+                conn.send((
+                    "ok",
+                    seq,
+                    {"jobs": len(jobs), "trace": trace, "shed": shed},
+                ))
             else:
                 batches = {}
                 conn.send(("reject", seq, verdict))
@@ -189,6 +212,7 @@ def _shard_worker_main(
             # marker hit the journal, so replay already applied it.
             for job in batches.pop(seq, ()):
                 shard.live.push(job)
+                meter.debit((job,))
             conn.send(("ok", seq, None))
         elif op == "tick":
             if last_tick is not None and last_tick[0] == payload:
@@ -196,6 +220,7 @@ def _shard_worker_main(
             else:
                 t0 = time.perf_counter()
                 part = shard.step(payload)
+                meter.refill()
                 if recorder is not None:
                     # The worker-side round latency; relabeled with this
                     # shard's identity when the frontend scrapes it, so
@@ -205,6 +230,23 @@ def _shard_worker_main(
                     )
                 last_tick = (payload, part)
             conn.send(("result", seq, part))
+        elif op == "tenant":
+            # Install this shard's share of an admitted contract.  The
+            # parent journals the registration before fanning this op
+            # out, and re-delivery after a respawn is idempotent: replay
+            # already registered the tenant with a full bucket and no
+            # submit of its colors can precede its registration.
+            contract = TenantContract.from_dict(payload)
+            shares = shard_shares(contract, shards)
+            if shard_id in shares:
+                rate, burst = shares[shard_id]
+                colors = [
+                    c
+                    for c in contract.colors
+                    if shard_of(c, shards) == shard_id
+                ]
+                meter.register(contract.name, colors, rate, burst)
+            conn.send(("ok", seq, None))
         elif op == "stats":
             conn.send(("stats", seq, shard.stats()))
         elif op == "metrics":
@@ -323,6 +365,17 @@ class WorkerShardedSession:
         #: same observational surfaces as ShardedSession (span sources).
         self.last_admission_votes: list[dict] = []
         self.last_tick_parts: dict[int, dict] = {}
+        #: registration-time tenant admission lives frontend-side (the
+        #: BDR check needs the whole capacity picture); runtime token
+        #: buckets live in the workers and vote their sheds over the pipe.
+        self.tenants = TenantDirectory(
+            shards=shards,
+            capacities=self.capacities,
+            speed=speed,
+            delta=int(delta),
+        )
+        self.last_shed: list[dict] = []
+        self.last_kept: list[Job] = []
         self._workers = [_ShardWorker(i) for i in range(shards)]
         try:
             for wk in self._workers:
@@ -588,9 +641,17 @@ class WorkerShardedSession:
         ``trace`` crosses the pipe inside the validate payload and is
         echoed back in each worker's vote, so admission spans attribute
         the vote to the submit that caused it.
+
+        With tenants registered, each worker's vote additionally carries
+        the shed list its token buckets decided for its sub-batch; the
+        parent merges them (``last_shed``/``last_kept``) and runs its
+        batch-wide pass on the surviving jobs only — the same
+        sheds-first ordering as ``ShardedSession``.
         """
         self._check_usable()
         self.last_admission_votes = []
+        self.last_shed = []
+        self.last_kept = list(jobs)
         if self._closed:
             raise AdmissionError("closed", "session is closed")
         # Route and ship the sub-batches first: the workers run their
@@ -598,12 +659,10 @@ class WorkerShardedSession:
         # below (on multi-core hosts the two genuinely overlap).
         sid_of = self._sid_cache
         sublists: dict[int, list] = {}
-        load: dict[int, int] = {}
         for index, job in enumerate(jobs):
             sid = sid_of.get(job.color)
             if sid is None:
                 sid = sid_of[job.color] = shard_of(job.color, self.num_shards)
-            load[sid] = load.get(sid, 0) + 1
             sublists.setdefault(sid, []).append(
                 (index, (job.color, job.arrival, job.delay_bound, job.uid))
             )
@@ -617,10 +676,33 @@ class WorkerShardedSession:
                 payload_of,
                 seq,
             )
+        replies: dict[int, tuple[str, object]] = {}
+        shed_idx: set[int] = set()
+        if not self.tenants.empty and sublists:
+            # Sheds are decided inside the workers; the parent's
+            # batch-wide pass must see only the kept jobs, so tenant mode
+            # gathers the votes first (tenant-free submits keep the
+            # overlapped fast path: gather after the parent pass).
+            replies = self._gather(state, "validate", payload_of, seq)
+            shed_all: list[dict] = []
+            for sid in sorted(sublists):
+                kind, payload = replies[sid]
+                if kind == "ok":
+                    shed_all.extend(payload.get("shed") or ())
+            shed_all.sort(key=lambda entry: entry["index"])
+            shed_idx = {entry["index"] for entry in shed_all}
+            self.last_shed = shed_all
+            self.last_kept = [
+                job
+                for index, job in enumerate(jobs)
+                if index not in shed_idx
+            ]
         bounds: dict[Color, int] = {}
         batch_uids: set[int] = set()
         candidates: list[tuple[int, int, AdmissionError]] = []
         for index, job in enumerate(jobs):
+            if index in shed_idx:
+                continue
             prev = bounds.setdefault(job.color, job.delay_bound)
             if prev != job.delay_bound:
                 candidates.append((
@@ -646,7 +728,8 @@ class WorkerShardedSession:
             batch_uids.add(job.uid)
         votes: list[dict] = []
         if sublists:
-            replies = self._gather(state, "validate", payload_of, seq)
+            if not replies:
+                replies = self._gather(state, "validate", payload_of, seq)
             for sid in sorted(sublists):
                 kind, payload = replies[sid]
                 if kind == "reject":
@@ -664,6 +747,10 @@ class WorkerShardedSession:
         if candidates:
             candidates.sort(key=lambda item: (item[0], item[1]))
             raise candidates[0][2]
+        # Per-shard load from the votes themselves: with tenants this is
+        # the *kept* count (what commit will actually push), without
+        # tenants it equals the routed sub-batch size exactly.
+        load = {vote["shard"]: vote["jobs"] for vote in votes}
         for sid in sorted(load):
             if self._pending[sid] + load[sid] > self.max_pending:
                 raise AdmissionError(
@@ -701,10 +788,31 @@ class WorkerShardedSession:
         if jobs and self.telemetry.enabled:
             self.telemetry.count("repro_serve_worker_commits_total")
 
-    def submit(self, jobs: Sequence[Job]) -> None:
-        """Admit a batch atomically; raises :class:`AdmissionError`."""
+    def submit(self, jobs: Sequence[Job]) -> list[dict]:
+        """Admit a batch atomically; raises :class:`AdmissionError`.
+
+        Commits the jobs validation kept (all of them, tenant-free) and
+        returns the shed list, mirroring ``ShardedSession.submit``.
+        """
         self.validate(jobs)
-        self.commit(jobs)
+        self.commit(self.last_kept)
+        return self.last_shed
+
+    def register_tenant(self, contract: TenantContract) -> list[dict]:
+        """Admit a tenant frontend-side (the BDR composition check needs
+        the whole capacity picture) and install its per-shard token
+        buckets in every worker over the pipe.  Raises
+        :class:`~repro.serve.tenants.TenantError` before anything is
+        installed when the contract is unschedulable."""
+        self._check_usable()
+        placement = self.tenants.admit(contract)
+        wire = contract.to_dict()
+        self._exchange(self._workers, "tenant", lambda sid: wire)
+        return placement
+
+    def tenant_stats(self) -> list[dict]:
+        """Per-tenant contracts and submitted/admitted/shed counters."""
+        return self.tenants.stats()
 
     def tick(self) -> dict:
         """Advance every shard one round — in parallel across workers."""

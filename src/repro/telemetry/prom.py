@@ -18,7 +18,7 @@ from __future__ import annotations
 import re
 from typing import Mapping
 
-from repro.telemetry.registry import SCHEMA, label_key
+from repro.telemetry.registry import SCHEMA, _unescape_label_value, label_key
 
 #: metric documentation surfaced as `# HELP` lines.
 HELP: dict[str, str] = {
@@ -57,6 +57,12 @@ HELP: dict[str, str] = {
     "repro_tasks_quarantined_total": "Runner tasks quarantined after exhausting retries.",
     "repro_task_backoff_seconds": "Retry backoff delay per re-dispatched task.",
     "repro_rounds_unparsed_cells_total": "Result cells skipped by round accounting as unparsable.",
+    "repro_serve_tenants": "Tenant contracts currently registered.",
+    "repro_serve_tenant_submitted_total": "Jobs submitted under a tenant contract, by tenant.",
+    "repro_serve_tenant_admitted_total": "Tenant jobs admitted after token-bucket metering, by tenant.",
+    "repro_serve_tenant_shed_total": "Tenant jobs shed for exceeding the contract rate, by tenant.",
+    "repro_serve_tenant_rejects_total": "Tenant registrations rejected, by reason.",
+    "repro_serve_idle_disconnects_total": "Client connections closed at the idle-read timeout.",
 }
 
 
@@ -113,7 +119,7 @@ def render_prometheus(snapshot: Mapping) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 _SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
 )
@@ -157,7 +163,10 @@ def parse_prometheus(text: str) -> dict:
         if not match:
             raise ValueError(f"unparsable sample line: {line!r}")
         name, raw_labels, raw_value = match.groups()
-        labels = dict(_LABEL_RE.findall(raw_labels or ""))
+        labels = {
+            k: _unescape_label_value(v)
+            for k, v in _LABEL_RE.findall(raw_labels or "")
+        }
         value = _parse_value(raw_value)
 
         base, suffix = name, ""

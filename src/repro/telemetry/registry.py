@@ -20,6 +20,7 @@ order — the same determinism rule the runner applies to everything else.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
@@ -49,28 +50,68 @@ BUCKETS: dict[str, tuple[float, ...]] = {
 }
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format escaping: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+_UNESCAPE_RE = re.compile(r'\\(["\\n])')
+_UNESCAPE_MAP = {'"': '"', "\\": "\\", "n": "\n"}
+
+
+def _unescape_label_value(value: str) -> str:
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP[m.group(1)], value
+    )
+
+
 def label_key(labels: Mapping[str, object]) -> str:
-    """Canonical label serialization: ``a="x",b="y"`` sorted by label name."""
+    """Canonical label serialization: ``a="x",b="y"`` sorted by label name.
+
+    Values are escaped exposition-style (``\\`` ``\"`` and newline), so a
+    label value carrying a quote or comma — tenant names are free-form —
+    still serializes to one unambiguous key.
+    """
     if not labels:
         return ""
-    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return ",".join(
+        f'{k}="{_escape_label_value(str(labels[k]))}"' for k in sorted(labels)
+    )
+
+
+#: one ``name="escaped-value"`` segment of a canonical label key.
+_SEGMENT_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def parse_label_key(key: str) -> dict[str, str]:
     """Invert :func:`label_key`: ``'a="x",b="y"'`` -> ``{"a": "x", "b": "y"}``.
 
-    Only the canonical form the registry itself emits is accepted (label
-    values never contain ``"`` — they come from shard ids, phase names,
-    and frame types, all of which this codebase keeps quote-free).
+    Only the canonical form the registry itself emits is accepted.
+    Escaped values round-trip exactly: ``label_key({"a": 'x"y'})`` parses
+    back to ``{"a": 'x"y'}``.
     """
     if not key:
         return {}
     labels: dict[str, str] = {}
-    for part in key.split(","):
-        name, _, quoted = part.partition("=")
-        if not name or len(quoted) < 2 or quoted[0] != '"' or quoted[-1] != '"':
-            raise ValueError(f"malformed label key segment {part!r} in {key!r}")
-        labels[name] = quoted[1:-1]
+    pos = 0
+    while pos < len(key):
+        match = _SEGMENT_RE.match(key, pos)
+        if match is None:
+            raise ValueError(
+                f"malformed label key segment at offset {pos} in {key!r}"
+            )
+        labels[match.group(1)] = _unescape_label_value(match.group(2))
+        pos = match.end()
+        if pos < len(key):
+            if key[pos] != ",":
+                raise ValueError(
+                    f"malformed label key segment at offset {pos} in {key!r}"
+                )
+            pos += 1
+            if pos >= len(key):  # trailing comma is not canonical
+                raise ValueError(f"malformed label key {key!r}")
     return labels
 
 

@@ -27,6 +27,9 @@ from repro.workloads.adversarial import (
     anti_dlru_offline_schedule,
     anti_edf_instance,
     anti_edf_offline_schedule,
+    colors_for_shard,
+    tenant_flood_instance,
+    tenant_flood_plan,
 )
 from repro.workloads.scenarios import (
     background_shortterm_instance,
@@ -54,6 +57,9 @@ __all__ = [
     "anti_dlru_offline_schedule",
     "anti_edf_instance",
     "anti_edf_offline_schedule",
+    "colors_for_shard",
+    "tenant_flood_instance",
+    "tenant_flood_plan",
     "background_shortterm_instance",
     "datacenter_workload",
     "router_workload",

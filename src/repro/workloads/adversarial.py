@@ -1,4 +1,4 @@
-"""The appendix adversaries, reproduced exactly.
+"""The appendix adversaries, reproduced exactly — plus a serve-layer one.
 
 Appendix A shows DeltaLRU is not constant competitive even with a
 nonconstant resource advantage; Appendix B shows the same for EDF.  Both
@@ -6,9 +6,20 @@ appendices also describe the offline strategy that beats the online
 algorithm — we emit those strategies as explicit, independently-verifiable
 :class:`repro.core.schedule.Schedule` objects, so the experiments report
 *true* (validated) offline costs rather than closed-form claims.
+
+:func:`tenant_flood_plan` / :func:`tenant_flood_instance` build the
+multi-tenant analogue: a compliant *victim* tenant and an *adversary*
+tenant on disjoint shards, where the adversary submits a multiple of its
+contracted rate every round.  Per-tenant token buckets must shed exactly
+the adversary's excess while leaving the victim's admissions — and
+therefore its per-shard digests — byte-identical to a run without the
+flood (the isolation test in ``tests/integration`` checks precisely
+that).
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.core.job import Job
 from repro.core.request import Instance, RequestSequence
@@ -16,6 +27,10 @@ from repro.core.schedule import Schedule
 
 #: color ids used by the constructions (shorts are 0..num_short-1).
 LONG_COLOR_OFFSET = 10_000
+
+#: first color probed by the tenant-flood construction; far above the
+#: appendix constructions so the color sets can never collide.
+TENANT_COLOR_OFFSET = 20_000
 
 
 def anti_dlru_instance(
@@ -139,6 +154,130 @@ def anti_edf_instance(
         name=f"anti-edf(n={n},j={j},k={k})",
         metadata={"n": n, "j": j, "k": k, "half": half,
                   "short_color": short_color},
+    )
+
+
+def colors_for_shard(
+    shard: int,
+    shards: int,
+    count: int,
+    start: int = TENANT_COLOR_OFFSET,
+) -> list[int]:
+    """The first ``count`` integer colors >= ``start`` that hash to
+    ``shard`` under the serve layer's color router.  Deterministic (the
+    router uses a stable hash), so generators, tests, and the CI smoke
+    leg all agree on which colors live where."""
+    from repro.serve.session import shard_of  # avoid workloads <-> serve cycle
+
+    found: list[int] = []
+    color = start
+    while len(found) < count:
+        if shard_of(color, shards) == shard:
+            found.append(color)
+        color += 1
+    return found
+
+
+def tenant_flood_plan(
+    shards: int = 2,
+    delta: int = 4,
+    rate: int = 1,
+    delay_factor: int = 4,
+    colors_per_tenant: int = 1,
+) -> dict:
+    """A two-tenant plan with shard-disjoint color sets.
+
+    Tenant ``victim`` owns colors hashing to shard 0, tenant ``adversary``
+    colors hashing to shard 1, so their runtime state (live sequences,
+    token buckets) shares nothing.  Both contracts are identical —
+    integer ``rate`` jobs per round, ``burst == rate``, delay bound
+    ``delay_factor * delta`` (strictly above the shard's startup delay,
+    as Theorem 1 requires) — which makes "the adversary cheats, the
+    victim does not" the *only* difference between the two tenants.
+
+    Returns the JSON-shaped ``{"tenants": [...]}`` object that
+    ``repro serve --tenants`` and :func:`repro.serve.tenants.load_plan`
+    accept.
+    """
+    if shards < 2:
+        raise ValueError(f"tenant flood needs >= 2 shards, got {shards}")
+    if rate < 1:
+        raise ValueError(f"rate must be a positive integer, got {rate}")
+    if delay_factor * delta <= delta:
+        raise ValueError("delay_factor must leave delay_bound above delta")
+    delay_bound = delay_factor * delta
+    victim = colors_for_shard(0, shards, colors_per_tenant)
+    adversary = colors_for_shard(1, shards, colors_per_tenant)
+    contract = {"rate": rate, "delay_bound": delay_bound, "burst": rate}
+    return {
+        "tenants": [
+            {"name": "victim", "colors": victim, **contract},
+            {"name": "adversary", "colors": adversary, **contract},
+        ]
+    }
+
+
+def tenant_flood_instance(
+    plan: dict,
+    horizon: int = 48,
+    flood_factor: int = 8,
+    seed: int = 0,
+    delta: int = 4,
+) -> Instance:
+    """Arrivals for a :func:`tenant_flood_plan`: the victim submits exactly
+    its contracted rate every round, the adversary ``flood_factor`` times
+    its rate.
+
+    The victim's load is sustainable by construction: its bucket starts
+    full at ``burst == rate``, each round debits ``rate`` tokens and the
+    round tick refills ``rate`` — so none of its jobs are ever shed.  The
+    adversary's bucket admits ``rate`` per round and sheds the rest.
+    Arrivals stop ``delay_bound`` rounds before the horizon so every
+    admitted job can drain, which keeps loadgen's end-of-run pending
+    check meaningful.  ``seed`` only permutes per-round color choice and
+    job interleaving — totals per tenant per round are fixed.
+    """
+    if flood_factor < 2:
+        raise ValueError(f"flood_factor must be >= 2, got {flood_factor}")
+    victim, adversary = plan["tenants"][0], plan["tenants"][1]
+    delay_bound = max(victim["delay_bound"], adversary["delay_bound"])
+    last_arrival = horizon - 1 - delay_bound
+    if last_arrival < 0:
+        raise ValueError(
+            f"horizon {horizon} too short for delay bound {delay_bound}"
+        )
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    for rnd in range(last_arrival + 1):
+        batch: list[Job] = []
+        for tenant, per_round in (
+            (victim, victim["rate"]),
+            (adversary, adversary["rate"] * flood_factor),
+        ):
+            batch.extend(
+                Job(
+                    color=rng.choice(tenant["colors"]),
+                    arrival=rnd,
+                    delay_bound=tenant["delay_bound"],
+                )
+                for _ in range(per_round)
+            )
+        rng.shuffle(batch)
+        jobs.extend(batch)
+    seq = RequestSequence(jobs, horizon=horizon)
+    return Instance(
+        seq,
+        delta=delta,
+        name=f"tenant-flood(x{flood_factor},seed={seed})",
+        metadata={
+            "victim": victim["name"],
+            "adversary": adversary["name"],
+            "victim_colors": list(victim["colors"]),
+            "adversary_colors": list(adversary["colors"]),
+            "flood_factor": flood_factor,
+            "seed": seed,
+            "last_arrival": last_arrival,
+        },
     )
 
 

@@ -1,0 +1,126 @@
+"""Unit tests for the BDR interface algebra (repro.core.bdr).
+
+The model follows the bounded-delay resource abstraction: an interface
+is an exact-Fraction (rate, delay) pair, its supply-bound function is
+``max(0, rate * (t - delay))``, and Theorem-1 composition says a parent
+hosts a child set iff the rates sum within the parent's rate and every
+child's delay strictly exceeds the parent's.  Everything is exact —
+no floats survive construction.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bdr import (
+    BDRInterface,
+    check_composition,
+    exact_fraction,
+    half_half_partition,
+)
+
+
+class TestExactFraction:
+    def test_int_and_fraction_pass_through(self):
+        assert exact_fraction(3) == Fraction(3)
+        assert exact_fraction(Fraction(2, 7)) == Fraction(2, 7)
+
+    def test_float_reads_decimal_literal_not_binary(self):
+        # 0.35 as a double is not 7/20; the decimal literal is.
+        assert exact_fraction(0.35) == Fraction(7, 20)
+        assert exact_fraction(0.1) == Fraction(1, 10)
+
+    def test_string_forms(self):
+        assert exact_fraction("0.25") == Fraction(1, 4)
+        assert exact_fraction("1/4") == Fraction(1, 4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            exact_fraction(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            exact_fraction("one quarter")
+
+
+class TestInterface:
+    def test_coerces_to_fractions(self):
+        iface = BDRInterface(rate=0.5, delay=2)
+        assert iface.rate == Fraction(1, 2)
+        assert iface.delay == Fraction(2)
+
+    def test_rejects_nonpositive_rate_and_negative_delay(self):
+        with pytest.raises(ValueError):
+            BDRInterface(rate=0, delay=1)
+        with pytest.raises(ValueError):
+            BDRInterface(rate=1, delay=-1)
+
+    def test_sbf_zero_inside_delay_then_linear(self):
+        iface = BDRInterface(rate=Fraction(1, 2), delay=4)
+        assert iface.sbf(0) == 0
+        assert iface.sbf(4) == 0
+        assert iface.sbf(6) == Fraction(1)
+        assert iface.sbf(10) == Fraction(3)
+
+
+class TestComposition:
+    def test_schedulable_set(self):
+        parent = BDRInterface(rate=4, delay=1)
+        children = [
+            BDRInterface(rate=1, delay=2),
+            BDRInterface(rate=Fraction(3, 2), delay=8),
+        ]
+        verdict = check_composition(parent, children)
+        assert verdict.schedulable
+        assert verdict.reason is None
+        assert parent.can_host(children)
+
+    def test_rate_overflow_detected_exactly(self):
+        parent = BDRInterface(rate=1, delay=1)
+        # 1/3 + 1/3 + 1/3 == 1 exactly: still schedulable.
+        thirds = [BDRInterface(rate=Fraction(1, 3), delay=2)] * 3
+        assert check_composition(parent, thirds).schedulable
+        # One epsilon more is not.
+        over = thirds + [BDRInterface(rate=Fraction(1, 10**9), delay=2)]
+        verdict = check_composition(parent, over)
+        assert not verdict.schedulable
+        assert verdict.reason == "rate_overflow"
+        assert verdict.demand > verdict.supply
+
+    def test_delay_must_strictly_exceed_parent(self):
+        parent = BDRInterface(rate=4, delay=2)
+        equal = BDRInterface(rate=1, delay=2)
+        verdict = check_composition(parent, [equal])
+        assert not verdict.schedulable
+        assert verdict.reason == "delay_too_tight"
+
+    def test_rate_checked_before_delay(self):
+        # Both violations present: rate_overflow wins (it is checked first,
+        # so rejection reasons are deterministic).
+        parent = BDRInterface(rate=1, delay=2)
+        child = BDRInterface(rate=2, delay=1)
+        assert check_composition(parent, [child]).reason == "rate_overflow"
+
+    def test_empty_child_set_is_schedulable(self):
+        parent = BDRInterface(rate=1, delay=1)
+        assert check_composition(parent, []).schedulable
+
+    def test_verdict_as_dict_is_jsonable(self):
+        parent = BDRInterface(rate=Fraction(3, 2), delay=1)
+        verdict = check_composition(parent, [BDRInterface(rate=1, delay=3)])
+        payload = verdict.as_dict()
+        assert payload["schedulable"] is True
+        assert isinstance(payload["demand"], str)
+        assert isinstance(payload["supply"], str)
+
+
+class TestHalfHalf:
+    def test_theorem_3_shape(self):
+        parent = BDRInterface(rate=Fraction(1, 2), delay=3)
+        a, b = half_half_partition(parent)
+        assert a.rate == b.rate == Fraction(1, 4)
+        assert a.delay == b.delay == Fraction(7)  # 2*delay + 1
+
+    def test_children_compose_back_into_parent(self):
+        parent = BDRInterface(rate=2, delay=1)
+        assert check_composition(parent, list(half_half_partition(parent))).schedulable

@@ -1,0 +1,132 @@
+"""Edge cases for the Prometheus text codec and snapshot transforms.
+
+Tenant names are free-form strings that end up as label values, so the
+exposition codec must round-trip escapes exactly; ``repro top`` divides
+and interpolates over scraped histograms, so the quantile estimator must
+never emit NaN.  These are the cases the happy-path telemetry suite does
+not reach.
+"""
+
+import math
+
+from repro.telemetry.prom import parse_prometheus, render_prometheus
+from repro.telemetry.quantiles import exact_quantile, histogram_quantile
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    label_key,
+    parse_label_key,
+    relabel_snapshot,
+)
+
+import pytest
+
+
+class TestEmptySnapshot:
+    def test_render_empty_is_empty_string(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_parse_empty_text(self):
+        snap = parse_prometheus("")
+        assert snap["counters"] == {} and snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_relabel_empty_snapshot(self):
+        out = relabel_snapshot(MetricsRegistry().snapshot(), worker="w0")
+        assert out["counters"] == {} and out["histograms"] == {}
+
+
+class TestEscapedLabelValues:
+    @pytest.mark.parametrize("value", [
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        'all \\ of "them"\n at once',
+        "plain",
+    ])
+    def test_label_key_round_trips(self, value):
+        key = label_key({"tenant": value})
+        assert parse_label_key(key) == {"tenant": value}
+
+    def test_exposition_round_trips_escapes(self):
+        reg = MetricsRegistry()
+        reg.count("jobs_total", 3, tenant='acme "prod"\nteam')
+        text = render_prometheus(reg.snapshot())
+        assert '\\"' in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        assert parsed["counters"]["jobs_total"] == reg.snapshot()["counters"]["jobs_total"]
+
+    def test_malformed_label_keys_rejected(self):
+        for bad in ('a="x', 'a=x', 'a="x",', '1a="x"', 'a="x"b="y"'):
+            with pytest.raises(ValueError):
+                parse_label_key(bad)
+
+    def test_relabel_preserves_escaped_values(self):
+        reg = MetricsRegistry()
+        reg.count("jobs_total", 1, tenant='a"b')
+        out = relabel_snapshot(reg.snapshot(), shard="0")
+        (key,) = out["counters"]["jobs_total"]
+        assert parse_label_key(key) == {"shard": "0", "tenant": 'a"b'}
+
+    def test_relabel_existing_labels_win(self):
+        reg = MetricsRegistry()
+        reg.count("jobs_total", 1, shard="7")
+        out = relabel_snapshot(reg.snapshot(), shard="0")
+        (key,) = out["counters"]["jobs_total"]
+        assert parse_label_key(key) == {"shard": "7"}
+
+
+class TestSingleBucketHistograms:
+    def cell(self, buckets, bounds, total=None):
+        count = sum(buckets)
+        return {
+            "bounds": bounds,
+            "buckets": buckets,
+            "sum": float(count),
+            "count": total if total is not None else count,
+        }
+
+    def test_everything_in_first_bucket_interpolates_from_zero(self):
+        cell = self.cell([4, 0], bounds=[10.0])
+        assert histogram_quantile(cell, 0.5) == pytest.approx(5.0)
+
+    def test_everything_in_inf_bucket_degrades_to_last_bound(self):
+        cell = self.cell([0, 4], bounds=[10.0])
+        assert histogram_quantile(cell, 0.99) == 10.0
+
+    def test_round_trip_through_exposition(self):
+        reg = MetricsRegistry()
+        reg.observe("repro_phase_seconds", 0.0003)
+        text = render_prometheus(reg.snapshot())
+        parsed = parse_prometheus(text)
+        assert parsed["histograms"] == reg.snapshot()["histograms"]
+
+
+class TestNaNFreeGuarantees:
+    def test_empty_cell_is_zero_not_nan(self):
+        cell = {"bounds": [1.0], "buckets": [0, 0], "sum": 0.0, "count": 0}
+        for q in (0.5, 0.99, 1.0):
+            value = histogram_quantile(cell, q)
+            assert value == 0.0 and not math.isnan(value)
+
+    def test_no_bounds_cell_is_zero(self):
+        cell = {"bounds": [], "buckets": [3], "sum": 1.0, "count": 3}
+        assert histogram_quantile(cell, 0.5) == 0.0
+
+    def test_exact_quantile_empty_is_zero(self):
+        assert exact_quantile([], 0.99) == 0.0
+
+    def test_bad_q_raises_instead_of_nan(self):
+        with pytest.raises(ValueError):
+            histogram_quantile({"bounds": [], "buckets": [], "sum": 0, "count": 0}, 0.0)
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 1.5)
+
+
+class TestForeignExposition:
+    def test_untyped_samples_degrade_to_gauges(self):
+        snap = parse_prometheus('foreign_metric{x="1"} 42\n')
+        assert snap["gauges"]["foreign_metric"] == {'x="1"': 42}
+
+    def test_unparsable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("what even is this line\n")

@@ -36,6 +36,15 @@ class TestModelDocSnippets:
             exec(compile(block, f"docs/model.md[{i}]", "exec"), namespace)
 
 
+class TestTenantDocSnippets:
+    def test_all_blocks_run_in_sequence(self):
+        blocks = python_blocks(ROOT / "docs" / "tenants.md")
+        assert blocks, "docs/tenants.md lost its code blocks"
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"docs/tenants.md[{i}]", "exec"), namespace)
+
+
 class TestFastExamples:
     @pytest.mark.parametrize("script", [
         "quickstart.py",
