@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test bench serve-bench experiments experiments-full docs-check all
+.PHONY: install test bench serve-bench opt-bench experiments experiments-full docs-check all
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,10 @@ bench:
 # Serve soak: in-process server + load generator per case, digest-verified.
 serve-bench:
 	python benchmarks/serve.py --scale quick
+
+# Competitive-ratio dashboard: exact offline OPT vs every online policy.
+opt-bench:
+	python benchmarks/opt.py --scale quick --out BENCH_opt.json
 
 experiments:
 	python -m repro.cli all --scale quick

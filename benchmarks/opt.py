@@ -1,0 +1,18 @@
+"""Thin runner for the exact-OPT competitive-ratio dashboard.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/opt.py --scale full
+
+Equivalent to ``python -m repro.cli opt``; writes ``BENCH_opt.json``
+(format ``bench-opt-v1``) with one ``policy_cost / OPT`` cell per
+dashboard workload.  ``--backend z3`` needs the optional z3-solver
+wheel (``pip install repro[opt]``).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["opt", *sys.argv[1:]]))

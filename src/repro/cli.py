@@ -33,6 +33,7 @@ from repro.workloads import (
     bursty_workload,
     datacenter_workload,
     flash_crowd_workload,
+    lb_adversary_workload,
     mmpp_workload,
     poisson_workload,
     rate_limited_workload,
@@ -50,6 +51,7 @@ WORKLOADS: dict[str, Callable[..., Instance]] = {
     "router": router_workload,
     "mmpp": mmpp_workload,
     "flash-crowd": flash_crowd_workload,
+    "lb-adversary": lb_adversary_workload,
 }
 
 #: named policy constructors live with the policies themselves so the CLI
@@ -111,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="deterministic chaos: a fault-plan JSON document "
                        "or a path to one (see repro.faults; kinds: raise, "
                        "corrupt, hang, kill)")
+    p_all.add_argument("--ratios", action="store_true",
+                       help="additionally run the competitive-ratio dashboard "
+                       "(exact offline OPT per workload, see 'repro opt') and "
+                       "write BENCH_opt.json under benchmarks/output/local/")
 
     p_sweep = sub.add_parser(
         "sweep", help="grid-sweep the pipeline solver over delta x n x seed"
@@ -142,10 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="'pipeline' = VarBatch∘Distribute∘DeltaLRU-EDF (Theorem 3); "
         "others run the named policy directly on the raw sequence",
     )
-    p_solve.add_argument("--engine", default="incremental",
-                         choices=["reference", "incremental", "array"],
+    p_solve.add_argument("--engine", default="auto",
+                         choices=["auto", "reference", "incremental", "array"],
                          help="round engine for direct policies (ignored by "
-                         "the pipeline); all three are digest-identical")
+                         "the pipeline); 'auto' picks incremental below "
+                         "1024 resources and array at or above it; all "
+                         "engines are digest-identical")
     p_solve.add_argument("--timeline", action="store_true",
                          help="print an ASCII timeline of the schedule")
     p_solve.add_argument("--telemetry", default=None, metavar="OUT_JSONL",
@@ -184,6 +192,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--out", default="BENCH_perf.json")
     p_perf.add_argument("--no-hashseed", action="store_true",
                         help="skip the cross-process PYTHONHASHSEED leg")
+
+    p_opt = sub.add_parser(
+        "opt",
+        help="exact offline optimum (brute-force DP or z3) and the "
+        "empirical competitive-ratio dashboard; writes BENCH_opt.json",
+    )
+    p_opt.add_argument("--scale", default="quick", choices=["quick", "full"])
+    p_opt.add_argument("--backend", default="auto",
+                       choices=["auto", "brute", "z3"],
+                       help="exact solver backend; 'auto' resolves to brute "
+                       "(always available); 'z3' needs the optional "
+                       "z3-solver wheel (pip install repro[opt])")
+    p_opt.add_argument("--engine", default="incremental",
+                       choices=["auto", "reference", "incremental", "array"],
+                       help="round engine used to replay-validate decoded "
+                       "optima and (in dashboard mode) run the policies")
+    p_opt.add_argument("--max-states", type=int, default=2_000_000,
+                       help="brute-force search budget (DP memo entries)")
+    p_opt.add_argument("--out", default="BENCH_opt.json",
+                       help="dashboard artifact path (bench-opt-v1 JSON)")
+    p_opt.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    p_opt.add_argument("--json", action="store_true",
+                       help="print the payload as JSON instead of the table")
+    p_opt.add_argument("--workload", default=None, choices=sorted(WORKLOADS),
+                       help="single-solve mode: solve one generated workload "
+                       "instead of building the dashboard")
+    p_opt.add_argument("--trace", default=None,
+                       help="single-solve mode: solve a saved trace file")
+    p_opt.add_argument("--n", type=int, default=4,
+                       help="single-solve: online resources (policy side)")
+    p_opt.add_argument("--m", type=int, default=None,
+                       help="single-solve: offline resources (default: --n)")
+    p_opt.add_argument("--delta", type=int, default=2)
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument("--horizon", type=int, default=None,
+                       help="single-solve: truncate the solve horizon "
+                       "(jobs arriving past it are excluded, not charged)")
 
     p_metrics = sub.add_parser(
         "metrics",
@@ -240,7 +286,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--speed", type=int, default=1,
                          help="mini-rounds per round")
     p_serve.add_argument("--engine", default="incremental",
-                         choices=["reference", "incremental", "array"])
+                         choices=["auto", "reference", "incremental", "array"])
     p_serve.add_argument("--clock", default="client",
                          choices=["client", "timer"],
                          help="'client': rounds advance on tick frames "
@@ -421,6 +467,92 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     print(table.render())
     print(f"\n{len(points)} cells (jobs={max(1, args.jobs)})")
     return 0
+
+
+def _run_opt_command(args: argparse.Namespace) -> int:
+    from repro.opt import (
+        ModelTooLarge,
+        SearchBudgetExceeded,
+        Z3Unavailable,
+        ratio_dashboard,
+        render_dashboard,
+        solve_opt,
+        write_bench,
+    )
+
+    backend = None if args.backend == "auto" else args.backend
+    try:
+        if args.workload is not None or args.trace is not None:
+            # Single-solve mode: one instance, one validated optimum.
+            if args.trace is not None:
+                from repro.workloads.trace import load_instance
+
+                instance = load_instance(args.trace)
+            else:
+                instance = _make_instance(args)
+            m = args.m if args.m is not None else args.n
+            result = solve_opt(
+                instance,
+                m,
+                backend=backend,
+                horizon=args.horizon,
+                max_states=args.max_states,
+                engine=args.engine,
+            )
+            if args.json:
+                print(json.dumps({
+                    "instance": instance.name,
+                    "m": result.m,
+                    "horizon": result.horizon,
+                    "backend": result.backend,
+                    "opt_cost": result.cost,
+                    "reconfigs": result.reconfig_count,
+                    "executed": result.executed,
+                    "unserved": result.unserved,
+                    "excluded_jobs": result.excluded_jobs,
+                    "states": result.states,
+                    "validated": result.validated,
+                    "digest": result.digests["run"],
+                }, indent=2, sort_keys=True))
+            else:
+                print(f"instance: {instance.name}  {instance.notation()}  "
+                      f"jobs={instance.sequence.num_jobs} "
+                      f"horizon={result.horizon}")
+                print(f"  OPT (m={result.m}, backend={result.backend}): "
+                      f"{result.cost}")
+                print(f"  reconfigs: {result.reconfig_count} "
+                      f"(cost {result.reconfig_cost})  "
+                      f"unserved: {result.unserved} "
+                      f"(cost {result.drop_cost})")
+                if result.excluded_jobs:
+                    print(f"  excluded by horizon: {result.excluded_jobs}")
+                if result.states is not None:
+                    print(f"  search states: {result.states}")
+                print(f"  validated: {result.validated} "
+                      f"(checker + digest {result.digests['run'][:16]}…)")
+            return 0
+
+        payload = ratio_dashboard(
+            args.scale,
+            backend=backend,
+            engine=args.engine,
+            use_cache=not args.no_cache,
+            max_states=args.max_states,
+        )
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(render_dashboard(payload))
+        out = write_bench(payload, args.out)
+        print(f"wrote {out}")
+        return 0 if payload["ok"] else 1
+    except Z3Unavailable as exc:
+        raise SystemExit(f"repro opt: {exc}")
+    except (ModelTooLarge, SearchBudgetExceeded) as exc:
+        raise SystemExit(
+            f"repro opt: {exc} (shrink the instance with --horizon, or "
+            f"raise --max-states)"
+        )
 
 
 def _scrape_metrics(url: str) -> dict:
@@ -756,9 +888,26 @@ def _main(argv: Sequence[str] | None = None) -> int:
             print(report.stats_table().render())
             stats_path = report.write_stats(args.stats_out)
             print(f"\nwrote {stats_path}")
+        ratios_ok = True
+        if args.ratios:
+            from repro.opt import ratio_dashboard, render_dashboard, write_bench
+
+            payload = ratio_dashboard(
+                args.scale, use_cache=not args.no_cache
+            )
+            print()
+            print(render_dashboard(payload))
+            out = write_bench(
+                payload, "benchmarks/output/local/BENCH_opt.json"
+            )
+            print(f"wrote {out}")
+            ratios_ok = payload["ok"]
         # Nonzero whenever CI must not silently pass: a failed experiment
-        # check, or a task the supervisor had to quarantine.
-        return 0 if report.failures == 0 and not report.failed else 1
+        # check, a quarantined task, or a failed ratio-dashboard check.
+        return (
+            0 if report.failures == 0 and not report.failed and ratios_ok
+            else 1
+        )
 
     if args.command == "sweep":
         return _run_sweep_command(args)
@@ -858,6 +1007,9 @@ def _main(argv: Sequence[str] | None = None) -> int:
         print(report.render())
         print(f"cost: {result.ledger.summary()}")
         return 0 if report.ok else 1
+
+    if args.command == "opt":
+        return _run_opt_command(args)
 
     if args.command == "metrics":
         return _run_metrics_command(args)

@@ -34,6 +34,7 @@ __all__ = [
     "result_digest",
     "result_digests",
     "run_digest",
+    "schedule_digests",
 ]
 
 
@@ -103,6 +104,27 @@ def component_digests(
         "events": _sha(payload["events"]),
         "run": _sha(payload),
     }
+
+
+def schedule_digests(
+    schedule: "Schedule",
+    sequence,
+    delta: int | float,
+) -> dict[str, str]:
+    """Component digests of an explicit schedule, with no simulator run.
+
+    The ledger is recomputed from the schedule itself
+    (:meth:`~repro.core.schedule.Schedule.ledger`), executed uids come from
+    the schedule, dropped uids are every other job of ``sequence``, and the
+    event stream is empty — so any two producers that agree on the schedule
+    agree on these digests, regardless of which engine (or offline solver)
+    emitted it.  This is the cost-extraction authority the ``repro.opt``
+    subsystem hashes decoded optima with.
+    """
+    ledger = schedule.ledger(sequence, delta)
+    executed = schedule.executed_uids()
+    dropped = [job.uid for job in sequence.jobs() if job.uid not in executed]
+    return component_digests(ledger, schedule, (), executed, dropped)
 
 
 def result_digest(result: "SimulationResult") -> str:

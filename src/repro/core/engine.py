@@ -30,10 +30,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.array_engine import ArraySimulator
     from repro.telemetry.recorder import Recorder
 
-__all__ = ["ENGINES", "engine_of", "make_simulator", "resolve_engine"]
+__all__ = [
+    "AUTO_ARRAY_MIN_RESOURCES",
+    "ENGINES",
+    "auto_engine",
+    "engine_of",
+    "make_simulator",
+    "resolve_engine",
+]
 
 #: Every selectable engine, in documentation order.
 ENGINES: tuple[str, ...] = ("reference", "incremental", "array")
+
+#: Resource count at which ``auto`` switches from ``incremental`` to
+#: ``array``.  BENCH_perf.json puts the crossover between n=128 (array
+#: 1.10× vs incremental 1.46× over reference — numpy call overhead still
+#: dominates) and n=1024 (array 1.52× vs 1.51×, pulling decisively ahead
+#: by n=16384 at ~14×); the pin test in tests/core guards this value.
+AUTO_ARRAY_MIN_RESOURCES = 1024
+
+
+def auto_engine(n: int) -> str:
+    """The ``--engine auto`` heuristic: the best engine for ``n`` resources.
+
+    Returns ``"incremental"`` below :data:`AUTO_ARRAY_MIN_RESOURCES` and
+    ``"array"`` at or above it.  Purely a function of the resource count —
+    the workload shape moves the crossover far less than ``n`` does — so
+    callers can resolve it before building anything.
+    """
+    return "array" if n >= AUTO_ARRAY_MIN_RESOURCES else "incremental"
 
 
 def resolve_engine(
@@ -67,7 +92,12 @@ def make_simulator(
     record_events: bool = True,
     telemetry: "Recorder | None" = None,
 ) -> "Simulator | ArraySimulator":
-    """Build the named engine's simulator over ``instance``."""
+    """Build the named engine's simulator over ``instance``.
+
+    ``engine="auto"`` resolves through :func:`auto_engine` on ``n``.
+    """
+    if engine == "auto":
+        engine = auto_engine(n)
     engine = resolve_engine(engine)
     if engine == "array":
         from repro.core.array_engine import ArraySimulator

@@ -26,7 +26,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro import __version__
 
@@ -53,6 +53,7 @@ def cache_key(
     *,
     kind: str = "experiment",
     version: str = __version__,
+    extra: Mapping[str, Any] | None = None,
 ) -> str:
     """Stable content address of one result cell.
 
@@ -61,6 +62,11 @@ def cache_key(
     plays no part).  ``seed`` is ``None`` for registry experiments (their
     seeds are part of the scale parameters) and the replication seed for
     Monte-Carlo cells.
+
+    ``extra`` folds additional identity fields (JSON-encodable values) into
+    the key.  Anything that changes what the cell *means* must be in here —
+    the competitive-ratio cells pass the opt backend and solve horizon, so
+    switching backends can never serve a stale OPT from cache.
     """
     identity = {
         "format": CACHE_FORMAT,
@@ -70,6 +76,8 @@ def cache_key(
         "seed": seed,
         "version": version,
     }
+    if extra:
+        identity["extra"] = {str(k): extra[k] for k in sorted(extra)}
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

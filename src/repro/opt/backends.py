@@ -1,0 +1,118 @@
+"""Backend registry: select an exact solver by name.
+
+Mirrors :mod:`repro.core.engine` — two backends share one behavioural
+contract (same compiled model in, same optimum out, every solution
+decoded and validated by :mod:`repro.opt.decode` before anyone sees a
+cost):
+
+- ``brute`` — exhaustive memoized DP (:mod:`repro.opt.brute`); always
+  available, the deterministic default;
+- ``z3`` — SMT/ILP via the optional ``z3-solver`` wheel
+  (:mod:`repro.opt.z3backend`); gracefully absent when not installed.
+
+``backend="auto"`` (or ``None``) resolves to ``brute``: both backends
+are exact, so availability and determinism — not solution quality —
+decide the default.  The ratio dashboard, the CLI, and the tests all
+resolve backends through this module, so a new backend only needs a
+registry entry to become selectable everywhere.
+
+Telemetry (never affects results, like every recorder in this repo):
+
+- ``repro_opt_solves_total{backend=}`` / ``repro_opt_solve_seconds{backend=}``
+- ``repro_opt_states_total{backend=}`` (brute's memo size)
+- ``repro_opt_validations_total{backend=,outcome=ok|failed}``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.request import Instance
+from repro.core.schedule import ScheduleError
+from repro.opt.brute import solve_brute
+from repro.opt.decode import OptResult, OptValidationError, decode_solution
+from repro.opt.model import compile_model
+from repro.opt.z3backend import Z3Unavailable, have_z3, solve_z3
+from repro.telemetry.recorder import Recorder, get_recorder
+
+__all__ = [
+    "BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "solve_opt",
+]
+
+#: Every selectable backend, in documentation order.
+BACKENDS: tuple[str, ...] = ("brute", "z3")
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends usable in this environment (z3 only if importable)."""
+    return BACKENDS if have_z3() else ("brute",)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalize a backend selection to a registry name.
+
+    ``None`` and ``"auto"`` resolve to ``brute``; asking for ``z3``
+    without the wheel raises :class:`~repro.opt.z3backend.Z3Unavailable`.
+    """
+    if backend is None or backend == "auto":
+        return "brute"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown opt backend {backend!r}; expected one of "
+            f"{list(BACKENDS)} (or 'auto')"
+        )
+    if backend == "z3" and not have_z3():
+        raise Z3Unavailable(
+            "the z3 backend needs the optional z3-solver dependency "
+            "(pip install repro[opt]); use --backend brute or auto"
+        )
+    return backend
+
+
+def solve_opt(
+    instance: Instance,
+    m: int,
+    *,
+    backend: str | None = None,
+    horizon: int | None = None,
+    max_states: int = 2_000_000,
+    timeout_ms: int | None = None,
+    engine: str = "reference",
+    telemetry: "Recorder | None" = None,
+) -> OptResult:
+    """Exact offline optimum of ``instance`` with ``m`` resources, validated.
+
+    Compiles the instance (:func:`repro.opt.model.compile_model`), runs
+    the named backend, then decodes and validates the solution through
+    the independent checker and digest authority
+    (:func:`repro.opt.decode.decode_solution`).  ``engine`` selects the
+    replay engine for the validation pass only.
+    """
+    telem = telemetry if telemetry is not None else get_recorder()
+    name = resolve_backend(backend)
+    model = compile_model(instance, m, horizon=horizon)
+
+    start = time.perf_counter()
+    if name == "z3":
+        solution = solve_z3(model, timeout_ms=timeout_ms)
+    else:
+        solution = solve_brute(model, max_states=max_states)
+    telem.observe(
+        "repro_opt_solve_seconds", time.perf_counter() - start, backend=name
+    )
+    telem.count("repro_opt_solves_total", backend=name)
+    if solution.states is not None:
+        telem.count("repro_opt_states_total", solution.states, backend=name)
+
+    try:
+        result = decode_solution(model, solution, engine=engine)
+    except (OptValidationError, ScheduleError):
+        telem.count(
+            "repro_opt_validations_total", backend=name, outcome="failed"
+        )
+        raise
+    telem.count("repro_opt_validations_total", backend=name, outcome="ok")
+    return result

@@ -1,0 +1,184 @@
+"""Formulation layer: compile an instance into the exact-OPT decision space.
+
+The offline problem ``[Delta | 1 | D_l | 1]`` over a bounded horizon is
+decided by two families of variables:
+
+- **configuration** — for every round ``r < horizon`` and location
+  ``p < m``, the color (or black) location ``p`` holds after the
+  reconfiguration phase of round ``r``;
+- **execution** — for every job ``j`` and every ``(round, location)``
+  inside ``j``'s window, whether ``j`` runs there.
+
+The objective matches the ledger exactly::
+
+    cost = Delta * |{(r, p) : color changed vs round r-1}| + |unexecuted jobs|
+
+with round ``-1`` all-black (the paper's initial state).  Two model facts
+let the formulations stay this small:
+
+1. recoloring to black is never useful — it costs ``Delta`` and enables
+   nothing — so configurations only ever move between black and job
+   colors and the objective never needs a shedding term;
+2. executing a job never costs anything, so minimizing over *schedules*
+   equals minimizing over configurations with free execution choice
+   (skipping an execution can only add a drop).
+
+:func:`compile_model` interns colors to dense ids (``0`` is reserved for
+black) and precomputes per-round arrival summaries.  Both backends
+(:mod:`repro.opt.brute`, :mod:`repro.opt.z3backend`) consume this one
+compiled form, so they agree on the decision space by construction and
+can only disagree through search itself — which is exactly what the
+differential tests pin down.
+
+Jobs arriving at or after the horizon cannot be served in-model; they are
+*excluded* (counted in :attr:`OptModel.excluded_jobs`) rather than
+charged, and the decoder adds them back when reconciling against the
+full-sequence checker.  With the default horizon (the sequence horizon,
+i.e. past every deadline) nothing is excluded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.job import Color, color_sort_key
+from repro.core.request import Instance
+
+__all__ = ["CompiledJob", "OptModel", "Solution", "compile_model"]
+
+
+@dataclass(frozen=True)
+class CompiledJob:
+    """One unit job in interned form.
+
+    ``window_end`` is ``min(deadline, horizon)`` — the first round the job
+    can no longer run *in-model*; ``deadline`` keeps the true value for
+    drop accounting.
+    """
+
+    uid: int
+    cid: int  # interned color id, >= 1 (0 is black)
+    arrival: int
+    deadline: int
+    window_end: int
+
+
+@dataclass(frozen=True)
+class OptModel:
+    """A compiled instance: everything a backend needs, nothing else.
+
+    ``colors[i]`` is the native color with interned id ``i + 1``;
+    ``arrivals[r][cid]`` is a sorted ``((deadline, count), ...)`` summary
+    of round ``r``'s request (unit jobs of equal color and deadline are
+    interchangeable for cost purposes).
+    """
+
+    instance: Instance
+    m: int
+    horizon: int
+    delta: int | float
+    colors: tuple[Color, ...]
+    jobs: tuple[CompiledJob, ...]
+    arrivals: Mapping[int, Mapping[int, tuple[tuple[int, int], ...]]]
+    excluded_jobs: int
+
+    @property
+    def num_colors(self) -> int:
+        return len(self.colors)
+
+    @property
+    def num_config_vars(self) -> int:
+        """One color-valued variable per (round, location)."""
+        return self.horizon * self.m
+
+    @property
+    def num_exec_vars(self) -> int:
+        """One boolean per (job, in-window round, location)."""
+        return sum(
+            (job.window_end - job.arrival) * self.m for job in self.jobs
+        )
+
+    def color_of(self, cid: int) -> Color:
+        """Native color of an interned id (ids start at 1; 0 is black)."""
+        return self.colors[cid - 1]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """What a backend returns: the optimum and how to realize it.
+
+    ``configs`` is one multiset of native colors per round — the
+    configuration held *after* that round's reconfiguration phase.  The
+    decoder replays these through a real engine (which re-derives the
+    executions greedily, provably without cost loss) and demands the
+    replayed total equal ``cost`` exactly.
+    """
+
+    cost: int | float
+    configs: tuple[tuple[Color, ...], ...]
+    backend: str
+    states: int | None = None
+    stats: Mapping[str, int | float] = field(default_factory=dict)
+
+
+def compile_model(
+    instance: Instance, m: int, horizon: int | None = None
+) -> OptModel:
+    """Compile ``instance`` for ``m`` offline resources over ``horizon`` rounds.
+
+    The horizon defaults to the sequence horizon (one past the last
+    deadline, so nothing is truncated) and is capped there — extra empty
+    rounds cannot lower the optimum.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    sequence = instance.sequence
+    if horizon is None:
+        horizon = sequence.horizon
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    horizon = min(horizon, sequence.horizon)
+
+    all_colors = tuple(sorted(sequence.colors(), key=color_sort_key))
+    cid_of = {color: i + 1 for i, color in enumerate(all_colors)}
+
+    jobs: list[CompiledJob] = []
+    excluded = 0
+    for job in sequence.jobs():
+        if job.arrival >= horizon:
+            excluded += 1
+            continue
+        jobs.append(CompiledJob(
+            uid=job.uid,
+            cid=cid_of[job.color],
+            arrival=job.arrival,
+            deadline=job.deadline,
+            window_end=min(job.deadline, horizon),
+        ))
+
+    per_round: dict[int, dict[int, dict[int, int]]] = defaultdict(
+        lambda: defaultdict(dict)
+    )
+    for job in jobs:
+        bucket = per_round[job.arrival][job.cid]
+        bucket[job.deadline] = bucket.get(job.deadline, 0) + 1
+    arrivals = {
+        rnd: {
+            cid: tuple(sorted(counts.items()))
+            for cid, counts in by_color.items()
+        }
+        for rnd, by_color in per_round.items()
+    }
+
+    return OptModel(
+        instance=instance,
+        m=m,
+        horizon=horizon,
+        delta=instance.delta,
+        colors=all_colors,
+        jobs=tuple(jobs),
+        arrivals=arrivals,
+        excluded_jobs=excluded,
+    )

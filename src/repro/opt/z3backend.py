@@ -1,0 +1,183 @@
+"""z3 SMT backend: the compiled model as an optimization problem.
+
+Variables follow the formulation of :mod:`repro.opt.model` directly —
+one integer per ``(round, location)`` holding an interned color id
+(``0`` = black), one boolean per ``(job, in-window round, location)``.
+Constraints:
+
+- an execution implies its location holds the job's color that round;
+- every job executes at most once;
+- every ``(round, location)`` slot executes at most one job.
+
+The objective is the ledger cost scaled to exact integers: with
+``Delta = num/den`` (``fractions.Fraction`` of the instance's delta, so
+integer *and* float deltas are exact), minimize
+``num * reconfigs + den * drops``.  The claimed cost is then recomputed
+in plain Python from the extracted assignment with the ledger's own
+arithmetic (``changes * delta + drops``), so no z3 numerals ever leak
+into cost comparisons.
+
+z3 is an *optional* dependency (``pip install repro[opt]``).  Everything
+here import-guards it: :func:`have_z3` reports availability, and
+:func:`solve_z3` raises :class:`Z3Unavailable` — callers (and the test
+suite) skip cleanly when the wheel is absent.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.opt.model import OptModel, Solution
+
+__all__ = ["Z3Unavailable", "ModelTooLarge", "have_z3", "solve_z3"]
+
+#: Refuse formulations past this many variables — z3 on this problem is
+#: for small-but-nontrivial horizons, and a silent hour-long solve is
+#: worse than a crisp error steering the caller to a shorter horizon.
+MAX_VARS = 50_000
+
+
+class Z3Unavailable(RuntimeError):
+    """Raised when the z3 backend is requested but z3 is not installed."""
+
+
+class ModelTooLarge(ValueError):
+    """Raised when the formulation would exceed :data:`MAX_VARS` variables."""
+
+
+def have_z3() -> bool:
+    """True iff the ``z3-solver`` wheel is importable."""
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _z3():
+    try:
+        import z3
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise Z3Unavailable(
+            "the z3 backend needs the optional z3-solver dependency "
+            "(pip install repro[opt]); the brute backend needs nothing"
+        ) from exc
+    return z3
+
+
+def solve_z3(model: OptModel, timeout_ms: int | None = None) -> Solution:
+    """Exact optimum of ``model`` via ``z3.Optimize``.
+
+    Returns the same :class:`~repro.opt.model.Solution` shape as the
+    brute backend; the decoder treats both identically.
+    """
+    z3 = _z3()
+    horizon, m, delta = model.horizon, model.m, model.delta
+    num_vars = model.num_config_vars + model.num_exec_vars
+    if num_vars > MAX_VARS:
+        raise ModelTooLarge(
+            f"{model.instance.name!r} compiles to {num_vars} variables "
+            f"(> {MAX_VARS}); shrink the horizon or the workload"
+        )
+
+    if not model.jobs:
+        # Doing nothing is optimal: every configuration variable stays
+        # black and there is nothing to execute or drop.
+        return Solution(
+            cost=0,
+            configs=tuple(() for _ in range(horizon)),
+            backend="z3",
+            stats={"variables": model.num_config_vars},
+        )
+
+    opt = z3.Optimize()
+    if timeout_ms is not None:
+        opt.set(timeout=int(timeout_ms))
+
+    cfg = [
+        [z3.Int(f"cfg_{r}_{p}") for p in range(m)] for r in range(horizon)
+    ]
+    for row in cfg:
+        for var in row:
+            opt.add(var >= 0, var <= model.num_colors)
+
+    # ex[ji][(r, p)] — job ji executes on location p in round r.
+    ex: list[dict[tuple[int, int], object]] = []
+    for ji, job in enumerate(model.jobs):
+        slots: dict[tuple[int, int], object] = {}
+        for r in range(job.arrival, job.window_end):
+            for p in range(m):
+                var = z3.Bool(f"x_{ji}_{r}_{p}")
+                slots[(r, p)] = var
+                opt.add(z3.Implies(var, cfg[r][p] == job.cid))
+        ex.append(slots)
+        if len(slots) > 1:
+            opt.add(z3.AtMost(*slots.values(), 1))
+
+    by_slot: dict[tuple[int, int], list] = {}
+    for slots in ex:
+        for key, var in slots.items():
+            by_slot.setdefault(key, []).append(var)
+    for vars_here in by_slot.values():
+        if len(vars_here) > 1:
+            opt.add(z3.AtMost(*vars_here, 1))
+
+    changes = []
+    for r in range(horizon):
+        for p in range(m):
+            prev = cfg[r - 1][p] if r else z3.IntVal(0)
+            changes.append(z3.If(cfg[r][p] != prev, 1, 0))
+    executed = [
+        z3.If(z3.Or(*slots.values()) if slots else z3.BoolVal(False), 1, 0)
+        for slots in ex
+    ]
+    frac = Fraction(delta)
+    objective = (
+        frac.numerator * z3.Sum(changes)
+        + frac.denominator * (len(model.jobs) - z3.Sum(executed))
+    )
+    opt.minimize(objective)
+
+    if opt.check() != z3.sat:
+        raise RuntimeError(
+            f"z3 returned {opt.check()} on {model.instance.name!r} — the "
+            "keep-all-black assignment is always feasible, so this means "
+            "a timeout or resource limit, not infeasibility"
+        )
+    assignment = opt.model()
+
+    def val(var) -> int:
+        return assignment.eval(var, model_completion=True).as_long()
+
+    def truthy(var) -> bool:
+        return z3.is_true(assignment.eval(var, model_completion=True))
+
+    configs: list[tuple] = []
+    reconfigs = 0
+    prev_row = [0] * m
+    for r in range(horizon):
+        row = [val(cfg[r][p]) for p in range(m)]
+        reconfigs += sum(1 for p in range(m) if row[p] != prev_row[p])
+        prev_row = row
+        configs.append(tuple(
+            model.color_of(cid)
+            for cid in sorted(c for c in row if c)
+        ))
+    executed_count = sum(
+        1 for slots in ex
+        if any(truthy(var) for var in slots.values())
+    )
+    drops = len(model.jobs) - executed_count
+    # Same arithmetic as CostLedger: reconfig_count * delta + drop_count.
+    cost = reconfigs * delta + drops
+
+    return Solution(
+        cost=cost,
+        configs=tuple(configs),
+        backend="z3",
+        stats={
+            "variables": num_vars,
+            "reconfigs": reconfigs,
+            "drops": drops,
+        },
+    )

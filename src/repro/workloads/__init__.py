@@ -28,6 +28,7 @@ from repro.workloads.adversarial import (
     anti_edf_instance,
     anti_edf_offline_schedule,
     colors_for_shard,
+    lb_adversary_workload,
     tenant_flood_instance,
     tenant_flood_plan,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "anti_edf_instance",
     "anti_edf_offline_schedule",
     "colors_for_shard",
+    "lb_adversary_workload",
     "tenant_flood_instance",
     "tenant_flood_plan",
     "background_shortterm_instance",

@@ -281,6 +281,98 @@ def tenant_flood_instance(
     )
 
 
+def lb_adversary_workload(
+    kind: str = "dlru",
+    delta: int = 2,
+    seed: int = 0,
+    horizon: int | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Scaled-down, seeded appendix-style adversary for the ratio dashboard.
+
+    :func:`anti_dlru_instance` / :func:`anti_edf_instance` reproduce the
+    appendix constructions at the widths the proofs use — far beyond what
+    the exact solvers can enumerate.  This generator keeps the defeat
+    *mechanism* but fixes parameters small enough for ``repro.opt``: two
+    short-term colors whose periodic batches exactly saturate four online
+    resources, next to one long-bound backlog color (one job per round's
+    worth).  Online policies chase the short colors and starve the
+    backlog; offline parks one resource on the backlog color for the
+    whole input and splits the rest, paying three reconfigurations total.
+
+    - ``kind="dlru"`` — period 4, relaxed deadlines: DeltaLRU's recency
+      preference does the starving (Appendix A's mechanism).
+    - ``kind="edf"`` — period 2, deadline-tight batches: EDF's
+      earliest-deadline preference evicts the backlog every period
+      (Appendix B's mechanism), measurably worse than DeltaLRU here.
+
+    ``seed`` only shuffles each round's job interleaving — per-color
+    per-round totals are fixed, so the lower-bound gap is
+    seed-independent.  ``horizon`` stretches the number of periods (and
+    the backlog bound with it).
+
+    Metadata records ``online_n`` and ``m`` (both 4): the resource counts
+    the dashboard gives the online policies and the offline optimum so
+    that ``policy_cost / OPT`` measurably exceeds 1 for every policy.
+    """
+    if kind not in ("dlru", "edf"):
+        raise ValueError(f"kind must be 'dlru' or 'edf', got {kind!r}")
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    online_n = 4
+    num_short = 2
+    bound = 4 if kind == "dlru" else 2
+    # One period's batch per short color fills exactly one resource for the
+    # whole period.  The shorts occupy half the machine; online policies
+    # spend the *other* half on extra short copies (recency/deadline
+    # preference) instead of the backlog — that, not raw overload, is the
+    # defeat mechanism, so the gap survives the exact-solver scale.
+    per_batch = bound
+    if horizon is not None and horizon < 2 * bound + 1:
+        raise ValueError(
+            f"horizon must be >= {2 * bound + 1} for kind={kind!r}, "
+            f"got {horizon}"
+        )
+    periods = max(2, (horizon - 1) // bound) if horizon else (2 if kind == "dlru" else 4)
+    span = periods * bound
+    long_color = LONG_COLOR_OFFSET
+
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    for period in range(periods):
+        start = period * bound
+        batch = [
+            Job(color=color, arrival=start, delay_bound=bound)
+            for color in range(num_short)
+            for _ in range(per_batch)
+        ]
+        if period == 0:
+            batch.extend(
+                Job(color=long_color, arrival=0, delay_bound=span)
+                for _ in range(span)
+            )
+        rng.shuffle(batch)
+        jobs.extend(batch)
+    seq = RequestSequence(jobs, horizon=span + 1)
+    return Instance(
+        seq,
+        delta,
+        name=name
+        or f"lb-adversary-{kind}(delta={delta},periods={periods},seed={seed})",
+        metadata={
+            "generator": "lb_adversary",
+            "kind": kind,
+            "seed": seed,
+            "num_short": num_short,
+            "bound": bound,
+            "periods": periods,
+            "long_color": long_color,
+            "online_n": online_n,
+            "m": online_n,
+        },
+    )
+
+
 def anti_edf_offline_schedule(instance: Instance) -> Schedule:
     """Appendix B's offline strategy: one resource, zero drops.
 

@@ -45,6 +45,15 @@ class TestTenantDocSnippets:
             exec(compile(block, f"docs/tenants.md[{i}]", "exec"), namespace)
 
 
+class TestOptDocSnippets:
+    def test_all_blocks_run_in_sequence(self):
+        blocks = python_blocks(ROOT / "docs" / "opt.md")
+        assert len(blocks) >= 2, "docs/opt.md lost its code blocks"
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"docs/opt.md[{i}]", "exec"), namespace)
+
+
 class TestFastExamples:
     @pytest.mark.parametrize("script", [
         "quickstart.py",

@@ -1,0 +1,160 @@
+"""Backend tests: exact values, registry semantics, and validation wiring.
+
+The exact-value cases mirror ``tests/offline/test_optimal.py`` so the new
+subsystem and the historical offline solver pin the same numbers.
+"""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.request import Instance, RequestSequence
+from repro.offline.optimal import optimal_cost
+from repro.opt import (
+    BACKENDS,
+    SearchBudgetExceeded,
+    Z3Unavailable,
+    available_backends,
+    compile_model,
+    have_z3,
+    resolve_backend,
+    solve_brute,
+    solve_opt,
+    solve_z3,
+)
+
+
+def inst_of(jobs, delta=2):
+    return Instance(RequestSequence(jobs), delta=delta)
+
+
+def J(color, arrival, bound):
+    return Job(color=color, arrival=arrival, delay_bound=bound)
+
+
+def brute_cost(inst, m, **kwargs):
+    return solve_opt(inst, m, backend="brute", **kwargs).cost
+
+
+class TestExactValues:
+    """Same instances and numbers as the offline solver's unit tests."""
+
+    def test_empty_instance_costs_nothing(self):
+        assert brute_cost(inst_of([]), m=1) == 0
+
+    def test_single_job_costs_min_of_delta_and_drop(self):
+        assert brute_cost(inst_of([J(0, 0, 2)], delta=3), m=1) == 1
+        assert brute_cost(inst_of([J(0, 0, 2)], delta=1), m=1) == 1
+
+    def test_many_jobs_justify_reconfiguration(self):
+        jobs = [J(0, 0, 8) for _ in range(5)]
+        assert brute_cost(inst_of(jobs, delta=3), m=1) == 3
+
+    def test_capacity_forces_drops(self):
+        jobs = [J(0, 0, 2) for _ in range(4)]
+        assert brute_cost(inst_of(jobs, delta=1), m=1) == 1 + 2
+
+    def test_two_colors_one_resource(self):
+        jobs = [J(0, 0, 2), J(1, 0, 2), J(0, 2, 2), J(1, 2, 2)]
+        assert brute_cost(inst_of(jobs, delta=1), m=1) == 3
+
+    def test_second_resource_helps(self):
+        jobs = [J(0, 0, 2), J(1, 0, 2), J(0, 2, 2), J(1, 2, 2)]
+        assert brute_cost(inst_of(jobs, delta=1), m=2) == 2
+
+    def test_replication_on_one_color(self):
+        jobs = [J(0, 0, 2) for _ in range(4)]
+        assert brute_cost(inst_of(jobs, delta=1), m=2) == 2
+
+    def test_agrees_with_offline_solver(self):
+        jobs = [J(c % 3, r, 2) for r in range(0, 6, 2) for c in range(4)]
+        inst = inst_of(jobs, delta=2)
+        for m in (1, 2, 3):
+            assert brute_cost(inst, m) == optimal_cost(inst, m)
+
+
+class TestRegistry:
+    def test_backend_names(self):
+        assert BACKENDS == ("brute", "z3")
+
+    def test_brute_always_available(self):
+        assert "brute" in available_backends()
+
+    def test_auto_and_none_resolve_to_brute(self):
+        assert resolve_backend(None) == "brute"
+        assert resolve_backend("auto") == "brute"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown opt backend"):
+            resolve_backend("simplex")
+
+    def test_z3_resolution_matches_availability(self):
+        if have_z3():
+            assert resolve_backend("z3") == "z3"
+            assert available_backends() == ("brute", "z3")
+        else:
+            with pytest.raises(Z3Unavailable):
+                resolve_backend("z3")
+            assert available_backends() == ("brute",)
+
+
+class TestBruteMechanics:
+    def test_budget_guard(self):
+        jobs = [J(c, r, 4) for r in range(0, 16, 4) for c in range(4)]
+        model = compile_model(inst_of(jobs, delta=1), m=2)
+        with pytest.raises(SearchBudgetExceeded):
+            solve_brute(model, max_states=10)
+
+    def test_states_reported(self):
+        jobs = [J(0, 0, 4) for _ in range(3)]
+        result = solve_opt(inst_of(jobs, delta=2), m=1)
+        assert result.states is not None and result.states > 0
+
+
+class TestValidationWiring:
+    def test_result_is_validated_with_digests(self):
+        jobs = [J(c % 2, r, 2) for r in range(0, 8, 2) for c in range(3)]
+        result = solve_opt(inst_of(jobs, delta=2), m=2)
+        assert result.validated
+        assert result.digests["run"]
+        assert result.replay_digest
+        assert result.cost == result.reconfig_cost + result.drop_cost
+
+    def test_truncated_horizon_reconciles_excluded_jobs(self):
+        jobs = [J(0, 0, 2), J(0, 6, 2), J(0, 7, 2)]
+        result = solve_opt(inst_of(jobs, delta=1), m=1, horizon=4)
+        assert result.excluded_jobs == 2
+        # In-model: one job, delta=1 -> configure once.
+        assert result.cost == 1
+
+    def test_replay_engines_agree(self):
+        jobs = [J(c % 2, r, 3) for r in range(0, 6, 2) for c in range(3)]
+        inst = inst_of(jobs, delta=2)
+        results = [
+            solve_opt(inst, 2, engine=engine)
+            for engine in ("reference", "incremental", "array")
+        ]
+        costs = {r.cost for r in results}
+        digests = {r.digests["run"] for r in results}
+        assert len(costs) == 1 and len(digests) == 1
+
+
+@pytest.mark.skipif(not have_z3(), reason="z3-solver not installed")
+class TestZ3Backend:
+    def test_exact_values_match_brute(self):
+        cases = [
+            (inst_of([J(0, 0, 2)], delta=3), 1),
+            (inst_of([J(0, 0, 2) for _ in range(4)], delta=1), 1),
+            (inst_of([J(0, 0, 2), J(1, 0, 2), J(0, 2, 2), J(1, 2, 2)],
+                     delta=1), 1),
+            (inst_of([J(0, 0, 2), J(1, 0, 2), J(0, 2, 2), J(1, 2, 2)],
+                     delta=1), 2),
+        ]
+        for inst, m in cases:
+            model = compile_model(inst, m)
+            assert solve_z3(model).cost == solve_brute(model).cost
+
+    def test_z3_solution_validates_end_to_end(self):
+        jobs = [J(c % 2, r, 2) for r in range(0, 8, 2) for c in range(3)]
+        result = solve_opt(inst_of(jobs, delta=2), m=2, backend="z3")
+        assert result.validated
+        assert result.backend == "z3"

@@ -1,0 +1,115 @@
+"""Tests for the competitive-ratio dashboard (repro.opt.ratios)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import cache_key
+from repro.opt import (
+    BENCH_FORMAT,
+    RATIO_POLICIES,
+    ratio_cases,
+    ratio_dashboard,
+    render_dashboard,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("opt-cache")
+    return ratio_dashboard("quick", cache_dir=str(cache_dir))
+
+
+class TestPayload:
+    def test_format_and_checks(self, payload):
+        assert payload["format"] == BENCH_FORMAT
+        assert payload["backend"] == "brute"
+        assert payload["ok"]
+        assert payload["checks"] == {
+            "all_validated": True,
+            "opt_leq_policies": True,
+            "adversary_gap": True,
+        }
+
+    def test_every_cell_is_complete(self, payload):
+        assert len(payload["cells"]) == len(ratio_cases("quick"))
+        for cell in payload["cells"]:
+            assert cell["opt_validated"]
+            assert cell["opt_digest"]
+            assert cell["n"] == cell["m"] == 4
+            assert set(cell["policy_costs"]) == set(RATIO_POLICIES)
+            for policy_name in RATIO_POLICIES:
+                cost = cell["policy_costs"][policy_name]
+                assert cost >= cell["opt_cost"]
+                if cell["opt_cost"]:
+                    assert cell["ratios"][policy_name] == pytest.approx(
+                        cost / cell["opt_cost"], abs=1e-4
+                    )
+
+    def test_adversary_cells_beat_every_policy(self, payload):
+        adversaries = [c for c in payload["cells"] if c["adversary"]]
+        assert len(adversaries) == 2
+        for cell in adversaries:
+            assert all(r > 1 for r in cell["ratios"].values()), cell
+
+    def test_payload_is_json_serializable(self, payload, tmp_path):
+        out = write_bench(payload, tmp_path / "BENCH_opt.json")
+        restored = json.loads(out.read_text())
+        assert restored["format"] == BENCH_FORMAT
+        assert restored["ok"] is True
+
+    def test_render_mentions_every_workload(self, payload):
+        text = render_dashboard(payload)
+        for cell in payload["cells"]:
+            assert cell["workload"] in text
+        assert "adversary_gap" in text
+
+
+class TestCaching:
+    def test_second_run_serves_from_cache_identically(
+        self, payload, tmp_path_factory
+    ):
+        cache_dir = tmp_path_factory.mktemp("opt-cache-2")
+        cold = ratio_dashboard("quick", cache_dir=str(cache_dir))
+        warm = ratio_dashboard("quick", cache_dir=str(cache_dir))
+        assert not any(c["cached"] for c in cold["cells"])
+        assert all(c["cached"] for c in warm["cells"])
+        strip = lambda cells: [
+            {k: v for k, v in c.items() if k != "cached"} for c in cells
+        ]
+        assert strip(cold["cells"]) == strip(warm["cells"])
+
+    def test_cache_key_separates_backend_and_horizon(self):
+        # Regression: a z3 OPT (or a truncated-horizon OPT) must never be
+        # served for a brute full-horizon request — the identity fields
+        # ride in the key's `extra` mapping.
+        base = dict(n=4, m=4, delta=2, engine="incremental")
+        keys = {
+            cache_key("ratio:x", "quick", kind="opt-ratio",
+                      extra={**base, "backend": "brute", "horizon": 9}),
+            cache_key("ratio:x", "quick", kind="opt-ratio",
+                      extra={**base, "backend": "z3", "horizon": 9}),
+            cache_key("ratio:x", "quick", kind="opt-ratio",
+                      extra={**base, "backend": "brute", "horizon": 5}),
+        }
+        assert len(keys) == 3
+
+    def test_extra_is_order_insensitive_and_optional(self):
+        a = cache_key("e", "quick", kind="opt-ratio",
+                      extra={"backend": "brute", "horizon": 9})
+        b = cache_key("e", "quick", kind="opt-ratio",
+                      extra={"horizon": 9, "backend": "brute"})
+        assert a == b
+        assert cache_key("e", "quick") == cache_key("e", "quick", extra=None)
+        assert cache_key("e", "quick") != a
+
+
+class TestScales:
+    def test_full_scale_extends_quick(self):
+        quick = {c.name for c in ratio_cases("quick")}
+        full = {c.name for c in ratio_cases("full")}
+        assert quick < full
+
+    def test_policies_are_the_dashboard_trio(self):
+        assert RATIO_POLICIES == ("dlru", "edf", "dlru-edf")
